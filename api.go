@@ -1,0 +1,124 @@
+// Package repro is a from-scratch Go reproduction of Perais & Seznec,
+// "Practical Data Value Speculation for Future High-end Processors"
+// (HPCA 2014): the VTAGE value predictor and Forward Probabilistic Counter
+// (FPC) confidence scheme, the baseline predictors they are evaluated
+// against (LVP, 2-delta Stride, order-4 FCM, hybrids), and the full
+// evaluation substrate — a cycle-level 8-wide out-of-order pipeline with
+// TAGE branch prediction, store sets, a three-level cache hierarchy over a
+// DDR3 model, and 19 synthetic SPEC-like kernels.
+//
+// This root package is the stable facade: it names kernels, predictors and
+// recovery modes, runs simulations, and exposes the paper's experiments.
+// The building blocks live in internal/ packages (see DESIGN.md for the
+// system inventory and per-experiment index).
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/harness"
+	"repro/internal/kernels"
+	"repro/internal/pipeline"
+)
+
+// Recovery selects the value-misprediction recovery mechanism.
+type Recovery = pipeline.RecoveryMode
+
+// Recovery mechanisms (Section 3.1.1 of the paper).
+const (
+	SquashAtCommit   = pipeline.SquashAtCommit
+	SelectiveReissue = pipeline.SelectiveReissue
+)
+
+// Counters selects the confidence-counter scheme.
+type Counters = harness.Counters
+
+// Counter schemes (Section 5 of the paper).
+const (
+	BaselineCounters = harness.BaselineCounters
+	FPC              = harness.FPC
+)
+
+// Options configures one simulation.
+type Options struct {
+	Kernel    string   // one of Kernels()
+	Predictor string   // one of Predictors()
+	Counters  Counters // BaselineCounters or FPC
+	Recovery  Recovery // SquashAtCommit or SelectiveReissue
+	Warmup    uint64   // µops before measurement (default 50_000)
+	Measure   uint64   // measured µops (default 250_000)
+}
+
+// Summary reports the headline results of one simulation.
+type Summary struct {
+	Kernel    string
+	Predictor string
+	IPC       float64
+	Speedup   float64 // vs the same machine without value prediction
+	Coverage  float64
+	Accuracy  float64
+	Stats     pipeline.Stats // full counters
+}
+
+// Kernels lists the 19 synthetic benchmark names (Table 3 order).
+func Kernels() []string { return kernels.Names() }
+
+// Predictors lists the predictor configuration names: "none", "lvp",
+// "stride", "fcm", "vtage", "oracle", "fcm+stride", "vtage+stride".
+func Predictors() []string { return harness.PredictorNames }
+
+// Simulate runs one kernel × predictor configuration and returns its
+// summary. The baseline (no-VP) run used for the speedup is included in the
+// cost.
+func Simulate(o Options) (Summary, error) {
+	if o.Warmup == 0 {
+		o.Warmup = 50_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 250_000
+	}
+	se := harness.NewSession(o.Warmup, o.Measure)
+	spec := harness.Spec{
+		Kernel:    o.Kernel,
+		Predictor: o.Predictor,
+		Counters:  o.Counters,
+		Recovery:  o.Recovery,
+	}
+	r, err := se.Run(spec)
+	if err != nil {
+		return Summary{}, err
+	}
+	sp, err := se.Speedup(spec)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Kernel:    o.Kernel,
+		Predictor: o.Predictor,
+		IPC:       r.Stats.IPC(),
+		Speedup:   sp,
+		Coverage:  r.Stats.Coverage(),
+		Accuracy:  r.Stats.Accuracy(),
+		Stats:     r.Stats,
+	}, nil
+}
+
+// Experiments lists the reproducible tables and figures by id.
+func Experiments() []string {
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one of the paper's tables or figures into w.
+// Warmup/measure size each underlying simulation.
+func RunExperiment(id string, warmup, measure uint64, w io.Writer) error {
+	e, ok := harness.ExperimentByID(id)
+	if !ok {
+		return fmt.Errorf("repro: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return e.Run(harness.NewSession(warmup, measure), w)
+}

@@ -1,0 +1,88 @@
+// Benchmarks: one testing.B benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §5). Each iteration regenerates the artifact with
+// reduced simulation windows so `go test -bench=.` completes in minutes;
+// cmd/experiments reproduces the same artifacts with full windows.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+const (
+	benchWarmup  = 20_000
+	benchMeasure = 80_000
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		se := harness.NewSession(benchWarmup, benchMeasure)
+		e, ok := harness.ExperimentByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		if err := e.Run(se, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Layout regenerates Table 1 (predictor layout summary).
+func BenchmarkTable1Layout(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Config regenerates Table 2 (simulator configuration).
+func BenchmarkTable2Config(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3Benchmarks regenerates Table 3 (benchmark list).
+func BenchmarkTable3Benchmarks(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig1BackToBack regenerates the Section 3.2 back-to-back fetch
+// statistics (Fig. 1 motivation).
+func BenchmarkFig1BackToBack(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig3OracleBound regenerates Fig. 3 (speedup upper bound with a
+// perfect value predictor).
+func BenchmarkFig3OracleBound(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4SquashAtCommit regenerates Fig. 4 (speedups of the four
+// single-scheme predictors with squash-at-commit recovery, baseline
+// counters vs FPC).
+func BenchmarkFig4SquashAtCommit(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5SelectiveReissue regenerates Fig. 5 (same with idealized
+// selective reissue).
+func BenchmarkFig5SelectiveReissue(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6VTAGECoverage regenerates Fig. 6 (VTAGE speedup and coverage,
+// baseline counters vs FPC).
+func BenchmarkFig6VTAGECoverage(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Hybrids regenerates Fig. 7 (hybrid predictors, speedup and
+// coverage).
+func BenchmarkFig7Hybrids(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkAccuracy regenerates the Section 8.2 accuracy comparison.
+func BenchmarkAccuracy(b *testing.B) { benchExperiment(b, "acc") }
+
+// BenchmarkSec3RecoveryModel regenerates the Section 3.1.1 recovery cost
+// model.
+func BenchmarkSec3RecoveryModel(b *testing.B) { benchExperiment(b, "sec3") }
+
+// BenchmarkSec4RegfileModel regenerates the Section 4 register file port
+// cost model.
+func BenchmarkSec4RegfileModel(b *testing.B) { benchExperiment(b, "sec4") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (µops/s) of the
+// baseline machine on one kernel — the cost model for sizing experiments.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		se := harness.NewSession(benchWarmup, benchMeasure)
+		if _, err := se.Run(harness.Spec{Kernel: "gzip", Predictor: "none"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchWarmup+benchMeasure), "uops/op")
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures
+// (DESIGN.md §5 maps each id to the paper artifact).
+//
+// Usage:
+//
+//	experiments -all                 # everything (several minutes)
+//	experiments -run fig4            # one table/figure
+//	experiments -run fig4 -measure 1000000   # bigger windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/harness"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	warmup := flag.Uint64("warmup", 50_000, "warmup µops per simulation")
+	measure := flag.Uint64("measure", 250_000, "measured µops per simulation")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	se := harness.NewSession(*warmup, *measure)
+	switch {
+	case *all:
+		if err := harness.RunAll(se, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	case *run != "":
+		e, ok := harness.ExperimentByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (have %s)\n",
+				*run, strings.Join(repro.Experiments(), ", "))
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(se, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

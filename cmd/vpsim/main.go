@@ -1,0 +1,77 @@
+// Command vpsim runs one kernel under one value-predictor configuration and
+// prints the headline statistics — the single-run workhorse behind the
+// experiment harness.
+//
+// Usage:
+//
+//	vpsim -kernel art -pred vtage+stride -counters fpc -recovery squash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	kernel := flag.String("kernel", "art", "kernel to simulate (see -list)")
+	pred := flag.String("pred", "vtage", "value predictor: "+strings.Join(repro.Predictors(), ", "))
+	counters := flag.String("counters", "fpc", "confidence counters: baseline or fpc")
+	recovery := flag.String("recovery", "squash", "misprediction recovery: squash or reissue")
+	warmup := flag.Uint64("warmup", 50_000, "warmup µops")
+	measure := flag.Uint64("measure", 250_000, "measured µops")
+	list := flag.Bool("list", false, "list kernels and exit")
+	flag.Parse()
+
+	if *list {
+		for _, k := range repro.Kernels() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	opts := repro.Options{
+		Kernel:    *kernel,
+		Predictor: *pred,
+		Warmup:    *warmup,
+		Measure:   *measure,
+	}
+	switch *counters {
+	case "baseline":
+		opts.Counters = repro.BaselineCounters
+	case "fpc":
+		opts.Counters = repro.FPC
+	default:
+		fmt.Fprintf(os.Stderr, "vpsim: unknown counters %q\n", *counters)
+		os.Exit(2)
+	}
+	switch *recovery {
+	case "squash":
+		opts.Recovery = repro.SquashAtCommit
+	case "reissue":
+		opts.Recovery = repro.SelectiveReissue
+	default:
+		fmt.Fprintf(os.Stderr, "vpsim: unknown recovery %q\n", *recovery)
+		os.Exit(2)
+	}
+
+	s, err := repro.Simulate(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kernel      %s\n", s.Kernel)
+	fmt.Printf("predictor   %s (%s counters, %s recovery)\n", s.Predictor, *counters, *recovery)
+	fmt.Printf("IPC         %.3f\n", s.IPC)
+	fmt.Printf("speedup     %.3f (vs no value prediction)\n", s.Speedup)
+	fmt.Printf("coverage    %.1f%%\n", 100*s.Coverage)
+	fmt.Printf("accuracy    %.4f\n", s.Accuracy)
+	st := s.Stats
+	fmt.Printf("squashes    value=%d branch=%d memorder=%d reissued=%d\n",
+		st.SquashValue, st.SquashBranch, st.SquashMemOrder, st.ReissuedUops)
+	fmt.Printf("branches    %.2f MPKI\n", st.BranchMPKI())
+	fmt.Printf("back-to-back eligible fetches: %.1f%%\n", 100*st.B2BFraction())
+}

@@ -1,0 +1,70 @@
+// Package analytic reproduces the closed-form models the paper works through
+// in its motivation: the Section 3.1.1 recovery-cost model comparing
+// selective reissue against pipeline squashing, and the Section 4 register
+// file port-cost scenarios (via package regfile).
+package analytic
+
+// RecoveryParams describes a value-prediction deployment for the Trecov =
+// Pvalue * Nmisp model of Section 3.1.
+type RecoveryParams struct {
+	Coverage     float64 // fraction of eligible µops predicted and used
+	Accuracy     float64 // fraction of used predictions that are correct
+	UsedBefore   float64 // fraction of predictions consumed before execution
+	BenefitPerOK float64 // cycles gained per correct used prediction
+	Penalty      float64 // Pvalue: average misprediction penalty in cycles
+}
+
+// NetBenefitPerKI returns the net cycles gained (positive) or lost
+// (negative) per thousand instructions, assuming every instruction is
+// VP-eligible as the paper's example implicitly does.
+func (p RecoveryParams) NetBenefitPerKI() float64 {
+	used := 1000 * p.Coverage
+	correct := used * p.Accuracy
+	wrong := used - correct
+	// Only predictions consumed before execution cost a recovery.
+	recoveries := wrong * p.UsedBefore
+	return correct*p.BenefitPerOK - recoveries*p.Penalty
+}
+
+// Scenario is one row of the Section 3.1.1 worked example.
+type Scenario struct {
+	Name    string
+	Penalty float64
+}
+
+// PaperScenarios are the three recovery mechanisms with the paper's
+// simplified penalties: 5 cycles for selective reissue, 20 for squashing at
+// execution time, 40 for squashing at commit.
+func PaperScenarios() []Scenario {
+	return []Scenario{
+		{"selective reissue", 5},
+		{"squash at execute", 20},
+		{"squash at commit", 40},
+	}
+}
+
+// Example1 is the paper's first example: 40% coverage, 95% accuracy, 50% of
+// predictions used before execution, 0.3 cycles gained per correct
+// prediction. It yields ≈ +64 / -86 / -286 cycles per kilo-instruction.
+func Example1(penalty float64) float64 {
+	return RecoveryParams{
+		Coverage:     0.40,
+		Accuracy:     0.95,
+		UsedBefore:   0.5,
+		BenefitPerOK: 0.3,
+		Penalty:      penalty,
+	}.NetBenefitPerKI()
+}
+
+// Example2 is the high-accuracy trade-off: 30% coverage at 99.75% accuracy
+// (the FPC operating point). It yields ≈ +88 / +83 / +76 cycles per
+// kilo-instruction — squashing at commit becomes viable.
+func Example2(penalty float64) float64 {
+	return RecoveryParams{
+		Coverage:     0.30,
+		Accuracy:     0.9975,
+		UsedBefore:   0.5,
+		BenefitPerOK: 0.3,
+		Penalty:      penalty,
+	}.NetBenefitPerKI()
+}

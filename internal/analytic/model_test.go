@@ -1,0 +1,68 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExample1MatchesPaperNumbers(t *testing.T) {
+	// Paper Section 3.1.1: ≈ +64 with selective reissue, ≈ -86 squashing at
+	// execute, ≈ -286 squashing at commit (cycles per kilo-instruction).
+	tests := []struct {
+		penalty float64
+		want    float64
+	}{
+		{5, 64},
+		{20, -86},
+		{40, -286},
+	}
+	for _, tt := range tests {
+		if got := Example1(tt.penalty); !close(got, tt.want, 1.0) {
+			t.Errorf("Example1(penalty=%.0f) = %.1f, want ≈ %.0f", tt.penalty, got, tt.want)
+		}
+	}
+}
+
+func TestExample2MatchesPaperNumbers(t *testing.T) {
+	// Paper: ≈ +88 / +83 / +76 once accuracy reaches 99.75% at 30% coverage.
+	tests := []struct {
+		penalty float64
+		want    float64
+	}{
+		{5, 88},
+		{20, 83},
+		{40, 76},
+	}
+	for _, tt := range tests {
+		if got := Example2(tt.penalty); !close(got, tt.want, 1.5) {
+			t.Errorf("Example2(penalty=%.0f) = %.1f, want ≈ %.0f", tt.penalty, got, tt.want)
+		}
+	}
+}
+
+func TestHighAccuracyMakesRecoveryIrrelevant(t *testing.T) {
+	// The paper's core argument: at FPC-level accuracy the spread between
+	// the cheapest and the most expensive recovery shrinks to a few cycles
+	// per kilo-instruction.
+	spread1 := Example1(5) - Example1(40)
+	spread2 := Example2(5) - Example2(40)
+	if spread2 >= spread1/10 {
+		t.Errorf("accuracy did not collapse the recovery spread: %.1f vs %.1f", spread1, spread2)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	sc := PaperScenarios()
+	if len(sc) != 3 || sc[0].Penalty != 5 || sc[2].Penalty != 40 {
+		t.Errorf("unexpected scenarios: %+v", sc)
+	}
+}
+
+func TestNetBenefitZeroCoverage(t *testing.T) {
+	p := RecoveryParams{Coverage: 0, Accuracy: 1, UsedBefore: 0.5, BenefitPerOK: 0.3, Penalty: 40}
+	if got := p.NetBenefitPerKI(); got != 0 {
+		t.Errorf("zero coverage benefit = %f, want 0", got)
+	}
+}

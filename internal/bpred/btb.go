@@ -1,0 +1,97 @@
+package bpred
+
+// BTB is the branch target buffer (Table 2: 2-way, 4K entries). It maps
+// branch PCs to their most recent taken target. Direct branches that miss
+// cost a front-end redirect bubble; indirect branches that hit a stale
+// target cost a full misprediction.
+type BTB struct {
+	sets []btbSet
+	mask uint64
+}
+
+type btbSet struct {
+	ways [2]btbWay
+}
+
+type btbWay struct {
+	tag    uint64
+	target uint32
+	valid  bool
+	lru    bool // true if this way is the most recently used
+}
+
+// NewBTB builds a 2-way BTB with 2^logEntries total entries.
+func NewBTB(logEntries int) *BTB {
+	n := (1 << logEntries) / 2
+	return &BTB{sets: make([]btbSet, n), mask: uint64(n - 1)}
+}
+
+func (b *BTB) set(pc uint64) (*btbSet, uint64) {
+	h := hash64(pc)
+	return &b.sets[h&b.mask], h >> 12
+}
+
+// Lookup returns the predicted target for pc and whether the BTB hit.
+func (b *BTB) Lookup(pc uint64) (uint32, bool) {
+	s, tag := b.set(pc)
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.tag == tag {
+			w.lru = true
+			s.ways[1-i].lru = false
+			return w.target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records target for pc, evicting the least recently used way.
+func (b *BTB) Insert(pc uint64, target uint32) {
+	s, tag := b.set(pc)
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.tag == tag {
+			w.target = target
+			w.lru = true
+			s.ways[1-i].lru = false
+			return
+		}
+	}
+	victim := 0
+	if s.ways[0].lru || !s.ways[1].valid {
+		victim = 1
+	}
+	s.ways[victim] = btbWay{tag: tag, target: target, valid: true, lru: true}
+	s.ways[1-victim].lru = false
+}
+
+// Entries reports the BTB capacity.
+func (b *BTB) Entries() int { return len(b.sets) * 2 }
+
+// RAS is the return address stack (Table 2: 32 entries). The pipeline
+// snapshots Top before each fetched control µop and restores it on squash —
+// the standard top-pointer checkpoint repair.
+type RAS struct {
+	stack [32]uint32
+	top   int // index of the next free slot (grows upward, wraps)
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret uint32) {
+	r.stack[r.top&31] = ret
+	r.top++
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() uint32 {
+	r.top--
+	return r.stack[r.top&31]
+}
+
+// Top returns the checkpointable stack position.
+func (r *RAS) Top() int { return r.top }
+
+// Restore rewinds the stack position to a checkpoint. Entries above the
+// checkpoint may have been clobbered by wrong-path pushes that wrapped the
+// ring; that imprecision is inherent to the hardware scheme being modelled.
+func (r *RAS) Restore(top int) { r.top = top }

@@ -1,0 +1,69 @@
+package core
+
+// ConfMax is the saturated value of the 3-bit confidence counters. A
+// prediction is used by the pipeline only when its counter is saturated, and
+// counters reset to zero on any misprediction (Section 5).
+const ConfMax = 7
+
+// FPCVector parameterizes a Forward Probabilistic Counter: entry i is
+// log2(1/p_i), the inverse-power-of-two probability of taking the forward
+// transition from state i to state i+1. Entry 0 is always 0 (probability 1)
+// in the paper's vectors.
+type FPCVector [ConfMax]uint8
+
+// The paper's probability vectors (Section 5).
+var (
+	// FPCBaseline is the deterministic 3-bit counter: every correct
+	// prediction increments by one. v = {1,1,1,1,1,1,1}.
+	FPCBaseline = FPCVector{0, 0, 0, 0, 0, 0, 0}
+
+	// FPCCommit mimics a 7-bit counter and is used with pipeline squashing
+	// at commit: v = {1, 1/16, 1/16, 1/16, 1/16, 1/32, 1/32}.
+	FPCCommit = FPCVector{0, 4, 4, 4, 4, 5, 5}
+
+	// FPCReissue mimics a 6-bit counter and is used with selective reissue:
+	// v = {1, 1/8, 1/8, 1/8, 1/8, 1/16, 1/16}.
+	FPCReissue = FPCVector{0, 3, 3, 3, 3, 4, 4}
+)
+
+// ExpectedStreak returns the expected number of consecutive correct
+// predictions needed to saturate a counter from zero: sum of 2^shift over
+// the transitions. FPCCommit yields 129 (≈ a 7-bit counter's 128),
+// FPCReissue 65 (≈ 6-bit), FPCBaseline 7.
+func (v FPCVector) ExpectedStreak() int {
+	n := 0
+	for _, s := range v {
+		n += 1 << s
+	}
+	return n
+}
+
+// Confidence implements the paper's confidence automaton over 3-bit
+// counters stored by the caller: forward transitions are probabilistic
+// (FPC), misprediction resets to zero, and only saturated counters allow the
+// prediction to be used.
+type Confidence struct {
+	vec FPCVector
+	rng *LFSR
+}
+
+// NewConfidence returns a confidence automaton using vector vec and an LFSR
+// seeded with seed.
+func NewConfidence(vec FPCVector, seed uint32) *Confidence {
+	return &Confidence{vec: vec, rng: NewLFSR(seed)}
+}
+
+// Bump returns the counter value after a correct prediction: ctr+1 with the
+// vector's transition probability, saturating at ConfMax.
+func (c *Confidence) Bump(ctr uint8) uint8 {
+	if ctr >= ConfMax {
+		return ConfMax
+	}
+	if c.rng.TakeProb(c.vec[ctr]) {
+		return ctr + 1
+	}
+	return ctr
+}
+
+// Saturated reports whether a counter allows the prediction to be used.
+func Saturated(ctr uint8) bool { return ctr >= ConfMax }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLFSRNonZeroAndPeriodic(t *testing.T) {
+	l := NewLFSR(1)
+	seen := map[uint32]bool{}
+	for i := 0; i < 100000; i++ {
+		v := l.Next()
+		if v == 0 {
+			t.Fatal("LFSR reached the all-zero fixed point")
+		}
+		seen[v] = true
+	}
+	if len(seen) < 99000 {
+		t.Errorf("LFSR produced only %d distinct values in 100k steps", len(seen))
+	}
+}
+
+func TestLFSRZeroSeedIsUsable(t *testing.T) {
+	l := NewLFSR(0)
+	if l.Next() == 0 {
+		t.Error("zero-seeded LFSR stuck at zero")
+	}
+}
+
+func TestTakeProbZeroShiftAlwaysFires(t *testing.T) {
+	l := NewLFSR(42)
+	for i := 0; i < 100; i++ {
+		if !l.TakeProb(0) {
+			t.Fatal("TakeProb(0) returned false")
+		}
+	}
+}
+
+func TestTakeProbRate(t *testing.T) {
+	// A shift of k should fire with probability about 2^-k.
+	for _, shift := range []uint8{3, 4, 5} {
+		l := NewLFSR(7)
+		n := 1 << 18
+		hits := 0
+		for i := 0; i < n; i++ {
+			if l.TakeProb(shift) {
+				hits++
+			}
+		}
+		want := float64(n) / float64(int(1)<<shift)
+		got := float64(hits)
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("shift %d: %d hits in %d trials, want about %.0f", shift, hits, n, want)
+		}
+	}
+}
+
+func TestExpectedStreak(t *testing.T) {
+	tests := []struct {
+		vec  FPCVector
+		want int
+	}{
+		{FPCBaseline, 7}, // plain 3-bit counter
+		{FPCCommit, 129}, // ≈ 7-bit counter (paper Section 5)
+		{FPCReissue, 65}, // ≈ 6-bit counter
+	}
+	for _, tt := range tests {
+		if got := tt.vec.ExpectedStreak(); got != tt.want {
+			t.Errorf("ExpectedStreak(%v) = %d, want %d", tt.vec, got, tt.want)
+		}
+	}
+}
+
+func TestBaselineCounterSaturatesInSevenSteps(t *testing.T) {
+	c := NewConfidence(FPCBaseline, 1)
+	ctr := uint8(0)
+	for i := 0; i < 7; i++ {
+		if Saturated(ctr) {
+			t.Fatalf("saturated after only %d bumps", i)
+		}
+		ctr = c.Bump(ctr)
+	}
+	if !Saturated(ctr) {
+		t.Error("baseline counter not saturated after 7 bumps")
+	}
+	if c.Bump(ctr) != ConfMax {
+		t.Error("Bump above saturation must stay saturated")
+	}
+}
+
+// Property: counters never exceed ConfMax and never decrease on Bump.
+func TestBumpMonotoneProperty(t *testing.T) {
+	c := NewConfidence(FPCCommit, 99)
+	f := func(start uint8) bool {
+		ctr := start % (ConfMax + 1)
+		next := c.Bump(ctr)
+		return next >= ctr && next <= ConfMax && next-ctr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The FPC saturation time should statistically match the wide counter it
+// mimics: mean streak to saturate under FPCCommit ≈ 129 correct predictions.
+func TestFPCSaturationTimeMimicsWideCounter(t *testing.T) {
+	c := NewConfidence(FPCCommit, 12345)
+	const trials = 2000
+	total := 0
+	for i := 0; i < trials; i++ {
+		ctr := uint8(0)
+		steps := 0
+		for !Saturated(ctr) {
+			ctr = c.Bump(ctr)
+			steps++
+			if steps > 100000 {
+				t.Fatal("counter failed to saturate")
+			}
+		}
+		total += steps
+	}
+	mean := float64(total) / trials
+	if mean < 110 || mean > 150 {
+		t.Errorf("mean saturation streak = %.1f, want ≈ 129", mean)
+	}
+}
+
+func TestFPCReissueSaturationTime(t *testing.T) {
+	c := NewConfidence(FPCReissue, 777)
+	const trials = 2000
+	total := 0
+	for i := 0; i < trials; i++ {
+		ctr := uint8(0)
+		for !Saturated(ctr) {
+			ctr = c.Bump(ctr)
+			total++
+		}
+	}
+	mean := float64(total) / trials
+	if mean < 55 || mean > 78 {
+		t.Errorf("mean saturation streak = %.1f, want ≈ 65", mean)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+// Hybrid is the paper's simple 2-component symmetric hybrid (Section 7.1.2):
+// if only one component is confident its prediction is used; if both are
+// confident they must agree, otherwise no prediction is made. Both
+// components train on every committed value, and the component the pipeline
+// will trust feeds its prediction to the other component's speculative
+// last-value state (the cross-feeding rule of Section 7.1.2).
+type Hybrid struct {
+	a, b Predictor
+	name string
+}
+
+// NewHybrid combines two predictors. By the paper's convention the
+// context-based component is first (e.g. VTAGE) and the computational one
+// second (e.g. 2D-Stride).
+func NewHybrid(a, b Predictor) *Hybrid {
+	return &Hybrid{a: a, b: b, name: a.Name() + "+" + b.Name()}
+}
+
+// Predict implements Predictor.
+func (p *Hybrid) Predict(pc uint64) Meta {
+	ma := p.a.Predict(pc)
+	mb := p.b.Predict(pc)
+	m := Meta{C1: ma.C1, C2: mb.C1}
+
+	switch {
+	case ma.Conf && mb.Conf:
+		if ma.Pred == mb.Pred {
+			m.Pred = ma.Pred
+			m.Conf = true
+		} else {
+			m.Pred = ma.Pred // best guess only; not used
+		}
+	case ma.Conf:
+		m.Pred = ma.Pred
+		m.Conf = true
+	case mb.Conf:
+		m.Pred = mb.Pred
+		m.Conf = true
+	default:
+		m.Pred = ma.Pred
+	}
+
+	return m
+}
+
+// FeedSpec implements SpecFeeder by forwarding the speculative occurrence to
+// both components — the Section 7.1.2 cross-feeding rule, where a component
+// consumes the speculative last occurrence established by the other's
+// (pipeline-visible) prediction.
+func (p *Hybrid) FeedSpec(pc uint64, v Value, seq uint64) {
+	if f, ok := p.a.(SpecFeeder); ok {
+		f.FeedSpec(pc, v, seq)
+	}
+	if f, ok := p.b.(SpecFeeder); ok {
+		f.FeedSpec(pc, v, seq)
+	}
+}
+
+// Train implements Predictor: when an instruction retires, all components
+// are updated with the committed value.
+func (p *Hybrid) Train(pc uint64, actual Value, m *Meta) {
+	ma := Meta{Seq: m.Seq, Pred: m.C1.Pred, Conf: m.C1.Conf, C1: m.C1}
+	mb := Meta{Seq: m.Seq, Pred: m.C2.Pred, Conf: m.C2.Conf, C1: m.C2}
+	p.a.Train(pc, actual, &ma)
+	p.b.Train(pc, actual, &mb)
+}
+
+// Squash implements Predictor.
+func (p *Hybrid) Squash(fromSeq uint64) {
+	p.a.Squash(fromSeq)
+	p.b.Squash(fromSeq)
+}
+
+// Name implements Predictor.
+func (p *Hybrid) Name() string { return p.name }
+
+// StorageBits implements Predictor.
+func (p *Hybrid) StorageBits() int {
+	return p.a.StorageBits() + p.b.StorageBits()
+}
+
+// Components returns the two combined predictors.
+func (p *Hybrid) Components() (a, b Predictor) { return p.a, p.b }

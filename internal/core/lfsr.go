@@ -1,0 +1,41 @@
+package core
+
+// LFSR is the Linear Feedback Shift Register pseudo-random generator the
+// paper uses to drive probabilistic counter transitions (Section 5). It is
+// implemented as a word-wide LFSR (xorshift32, linear over GF(2) like any
+// LFSR) rather than a bit-serial Galois register: a bit-serial register
+// shifts a single position per draw, so the low bits of successive draws
+// overlap and probabilistic transitions become strongly correlated — one
+// lucky increment makes the next one likely, which silently deflates the
+// effective counter width. Hardware avoids this by free-running the
+// register; the word-wide update models that.
+type LFSR struct {
+	s uint32
+}
+
+// NewLFSR returns an LFSR seeded with seed (0 is mapped to a fixed non-zero
+// state, since the all-zero state is a fixed point).
+func NewLFSR(seed uint32) *LFSR {
+	if seed == 0 {
+		seed = 0xACE1ACE1
+	}
+	return &LFSR{s: seed}
+}
+
+// Next advances the register and returns its new 32-bit state.
+func (l *LFSR) Next() uint32 {
+	s := l.s
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	l.s = s
+	return s
+}
+
+// TakeProb returns true with probability 2^-shift (always true for shift 0).
+func (l *LFSR) TakeProb(shift uint8) bool {
+	if shift == 0 {
+		return true
+	}
+	return l.Next()&(1<<shift-1) == 0
+}

@@ -1,0 +1,143 @@
+package core
+
+import "repro/internal/ghist"
+
+// PS is the Per-Path Stride predictor of Nakra, Gupta and Soffa [15]: a
+// stride predictor whose stride is selected by a few bits of the global
+// branch history, so the same instruction can carry different strides on
+// different control-flow paths. The paper included it in its initial study
+// (footnote 4) and found it on par with 2D-Stride; it is provided here as
+// the historical bridge between computational predictors and VTAGE's use of
+// branch history.
+type PS struct {
+	lasts                []psLast   // per-PC last value (like LVP's table)
+	strides              []psStride // per (PC, path) stride + confidence
+	conf                 *Confidence
+	lastMask, strideMask uint64
+	hist                 *ghist.History
+	fold                 ghist.Fold
+	spec                 map[uint64]*specWindow
+}
+
+type psLast struct {
+	tag  uint64
+	last Value
+	ok   bool
+}
+
+type psStride struct {
+	tag    uint16
+	stride int64
+	c      uint8
+}
+
+// psHistBits is how many branch-history bits select the stride ("PS only
+// uses a few bits of the global branch history" — Section 6).
+const psHistBits = 4
+
+// NewPS builds a per-path stride predictor with 2^logLast last-value entries
+// and 2^logStride path-qualified stride entries over the shared history h.
+func NewPS(logLast, logStride int, vec FPCVector, seed uint32, h *ghist.History) *PS {
+	return &PS{
+		lasts:      make([]psLast, 1<<logLast),
+		strides:    make([]psStride, 1<<logStride),
+		conf:       NewConfidence(vec, seed),
+		lastMask:   uint64(1)<<logLast - 1,
+		strideMask: uint64(1)<<logStride - 1,
+		hist:       h,
+		fold:       h.RegisterFold(psHistBits, psHistBits, false),
+		spec:       make(map[uint64]*specWindow),
+	}
+}
+
+func (p *PS) lastSlot(pc uint64) (*psLast, uint64) {
+	h := hashPC(pc)
+	return &p.lasts[h&p.lastMask], h >> 13
+}
+
+func (p *PS) strideSlot(pc uint64, hist uint64) (*psStride, uint16) {
+	h := hashPC(pc) ^ hist*0x9E3779B9
+	return &p.strides[h&p.strideMask], uint16(h >> 24 & 0x3FF)
+}
+
+// Predict implements Predictor: last speculative occurrence plus the stride
+// recorded for the current path.
+func (p *PS) Predict(pc uint64) Meta {
+	le, tag := p.lastSlot(pc)
+	if !le.ok || le.tag != tag {
+		return Meta{}
+	}
+	last := le.last
+	if w := p.spec[pc]; w != nil {
+		if sv, ok := w.newest(); ok {
+			last = sv.val
+		}
+	}
+	hist := p.hist.Folded(p.fold)
+	se, stag := p.strideSlot(pc, hist)
+	var m Meta
+	if se.tag == stag {
+		m.Pred = last + Value(se.stride)
+		m.Conf = Saturated(se.c)
+	} else {
+		m.Pred = last
+	}
+	m.C1.Pred = m.Pred
+	m.C1.Conf = m.Conf
+	m.C1.Idx[0] = uint32(hist) // fetch-time path for Train
+	return m
+}
+
+// FeedSpec implements SpecFeeder.
+func (p *PS) FeedSpec(pc uint64, v Value, seq uint64) {
+	w := p.spec[pc]
+	if w == nil {
+		w = &specWindow{}
+		p.spec[pc] = w
+	}
+	w.push(seq, v)
+}
+
+// Train implements Predictor.
+func (p *PS) Train(pc uint64, actual Value, m *Meta) {
+	if w := p.spec[pc]; w != nil {
+		w.popThrough(m.Seq)
+		if len(w.vals) == 0 {
+			delete(p.spec, pc)
+		}
+	}
+	le, tag := p.lastSlot(pc)
+	if !le.ok || le.tag != tag {
+		*le = psLast{tag: tag, last: actual, ok: true}
+		return
+	}
+	se, stag := p.strideSlot(pc, uint64(m.C1.Idx[0]))
+	s := int64(actual - le.last)
+	if se.tag != stag {
+		*se = psStride{tag: stag, stride: s}
+	} else if le.last+Value(se.stride) == actual {
+		se.c = p.conf.Bump(se.c)
+	} else {
+		se.c = 0
+		se.stride = s
+	}
+	le.last = actual
+}
+
+// Squash implements Predictor.
+func (p *PS) Squash(fromSeq uint64) {
+	for pc, w := range p.spec {
+		w.truncFrom(fromSeq)
+		if len(w.vals) == 0 {
+			delete(p.spec, pc)
+		}
+	}
+}
+
+// Name implements Predictor.
+func (p *PS) Name() string { return "PS" }
+
+// StorageBits implements Predictor.
+func (p *PS) StorageBits() int {
+	return len(p.lasts)*(51+64) + len(p.strides)*(10+64+3)
+}

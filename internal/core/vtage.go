@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ghist"
+)
+
+// VTAGE is the Value TAgged GEometric history length predictor (Section 6),
+// derived from the ITTAGE indirect branch predictor. A tagless last-value
+// base component is backed by NComp tagged components indexed by the µop PC
+// hashed with geometrically increasing slices of the global branch history
+// and the path history. The matching component with the longest history
+// provides the prediction; only the provider is updated at commit.
+//
+// Because the prediction depends only on the PC and control-flow history —
+// never on previous values of the same µop — VTAGE has no speculative
+// per-PC value state to track and can predict back-to-back occurrences of an
+// instruction even with a multi-cycle lookup (Section 3.2).
+type VTAGE struct {
+	hist *ghist.History
+
+	base     []vtageBase
+	baseMask uint64
+
+	comps [NComp]vtageComp
+	conf  *Confidence
+	rng   *LFSR
+}
+
+type vtageBase struct {
+	val Value
+	c   uint8
+}
+
+type vtageComp struct {
+	entries  []vtageEntry
+	mask     uint64
+	histLen  int
+	tagBits  int
+	idxFold  ghist.Fold
+	tagFoldA ghist.Fold
+	tagFoldB ghist.Fold
+	pathFold ghist.Fold
+}
+
+type vtageEntry struct {
+	tag uint16
+	val Value
+	c   uint8
+	u   uint8 // 1-bit usefulness for the replacement policy
+}
+
+// VTAGEConfig sizes a VTAGE predictor.
+type VTAGEConfig struct {
+	LogBase    int // log2 entries in the tagless base (paper: 13 → 8K)
+	LogTagged  int // log2 entries per tagged component (paper: 10 → 1K)
+	MinHist    int // shortest history length (paper: 2)
+	MaxHist    int // longest history length (paper: 64)
+	TagBitsMin int // tag width of component 1 (paper: 12+1)
+	Vector     FPCVector
+	Seed       uint32
+}
+
+// DefaultVTAGEConfig is the paper's Table 1 configuration.
+func DefaultVTAGEConfig(vec FPCVector) VTAGEConfig {
+	return VTAGEConfig{
+		LogBase:    13,
+		LogTagged:  10,
+		MinHist:    2,
+		MaxHist:    64,
+		TagBitsMin: 13,
+		Vector:     vec,
+		Seed:       0x5EED,
+	}
+}
+
+// NewVTAGE builds a VTAGE predictor reading (and sharing) the global history
+// h, which the pipeline updates at fetch and repairs on squash.
+func NewVTAGE(cfg VTAGEConfig, h *ghist.History) *VTAGE {
+	p := &VTAGE{
+		hist: h,
+		base: make([]vtageBase, 1<<cfg.LogBase),
+		conf: NewConfidence(cfg.Vector, cfg.Seed),
+		rng:  NewLFSR(cfg.Seed*2 + 1),
+	}
+	p.baseMask = uint64(len(p.base) - 1)
+
+	// Geometric history series from MinHist to MaxHist (paper: 2,4,...,64).
+	ratio := 1.0
+	if NComp > 1 {
+		ratio = math.Pow(float64(cfg.MaxHist)/float64(cfg.MinHist), 1.0/float64(NComp-1))
+	}
+	hl := float64(cfg.MinHist)
+	for i := 0; i < NComp; i++ {
+		n := 1 << cfg.LogTagged
+		L := int(hl + 0.5)
+		c := &p.comps[i]
+		c.entries = make([]vtageEntry, n)
+		c.mask = uint64(n - 1)
+		c.histLen = L
+		c.tagBits = cfg.TagBitsMin + i
+		c.idxFold = h.RegisterFold(L, cfg.LogTagged, false)
+		c.tagFoldA = h.RegisterFold(L, c.tagBits, false)
+		c.tagFoldB = h.RegisterFold(L, c.tagBits-1, false)
+		c.pathFold = h.RegisterFold(minInt(L, 16), cfg.LogTagged, true)
+		hl *= ratio
+	}
+	return p
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// index and tag computation for component k at the current history state.
+func (p *VTAGE) compIndex(k int, pc uint64) uint32 {
+	c := &p.comps[k]
+	h := hashPC(pc)
+	return uint32((h ^ h>>uint(10+k) ^ p.hist.Folded(c.idxFold) ^ p.hist.Folded(c.pathFold)) & c.mask)
+}
+
+func (p *VTAGE) compTag(k int, pc uint64) uint16 {
+	c := &p.comps[k]
+	h := hashPC(pc ^ 0x7F4A7C15)
+	mask := uint64(1)<<c.tagBits - 1
+	return uint16((h ^ p.hist.Folded(c.tagFoldA) ^ p.hist.Folded(c.tagFoldB)<<1) & mask)
+}
+
+// Predict implements Predictor. All components are searched in parallel; the
+// hitting component with the longest history provides the prediction.
+func (p *VTAGE) Predict(pc uint64) Meta {
+	var m Meta
+	m.C1.Prov = -1
+	m.C1.Idx[0] = uint32(hashPC(pc) & p.baseMask)
+	for k := 0; k < NComp; k++ {
+		idx := p.compIndex(k, pc)
+		tag := p.compTag(k, pc)
+		m.C1.Idx[k+1] = idx
+		m.C1.Tag[k] = tag
+		if p.comps[k].entries[idx].tag == tag {
+			m.C1.Prov = int8(k)
+		}
+	}
+	if k := m.C1.Prov; k >= 0 {
+		e := &p.comps[k].entries[m.C1.Idx[k+1]]
+		m.Pred = e.val
+		m.Conf = Saturated(e.c)
+	} else {
+		b := &p.base[m.C1.Idx[0]]
+		m.Pred = b.val
+		m.Conf = Saturated(b.c)
+	}
+	m.C1.Pred = m.Pred
+	m.C1.Conf = m.Conf
+	return m
+}
+
+// Train implements Predictor, applying the update automaton of Section 6 at
+// commit time using the fetch-time indices and tags captured in m.
+func (p *VTAGE) Train(pc uint64, actual Value, m *Meta) {
+	cm := &m.C1
+	correct := cm.Pred == actual
+
+	if k := cm.Prov; k >= 0 {
+		e := &p.comps[k].entries[cm.Idx[k+1]]
+		if e.tag == cm.Tag[k] {
+			p.updateEntry(&e.val, &e.c, actual, correct)
+			if correct {
+				e.u = 1
+			} else {
+				e.u = 0
+			}
+		}
+	} else {
+		b := &p.base[cm.Idx[0]]
+		p.updateEntry(&b.val, &b.c, actual, correct)
+	}
+	if correct {
+		return
+	}
+
+	// Misprediction: allocate in a component using a longer history than the
+	// provider. Pick randomly among not-useful candidates; if none, reset
+	// the u bit of every candidate entry instead (decay), allocating nothing.
+	lo := int(cm.Prov) + 1
+	var candidates [NComp]int
+	nc := 0
+	for k := lo; k < NComp; k++ {
+		if p.comps[k].entries[cm.Idx[k+1]].u == 0 {
+			candidates[nc] = k
+			nc++
+		}
+	}
+	if nc == 0 {
+		for k := lo; k < NComp; k++ {
+			p.comps[k].entries[cm.Idx[k+1]].u = 0
+		}
+		return
+	}
+	k := candidates[int(p.rng.Next())%nc]
+	p.comps[k].entries[cm.Idx[k+1]] = vtageEntry{
+		tag: cm.Tag[k],
+		val: actual,
+		c:   0,
+		u:   0,
+	}
+}
+
+// updateEntry applies the shared value/confidence automaton: correct
+// predictions raise confidence probabilistically; a misprediction resets a
+// confident counter, and replaces the value only once confidence is zero
+// (the "c acts as hysteresis" rule of Section 6).
+func (p *VTAGE) updateEntry(val *Value, c *uint8, actual Value, correct bool) {
+	if correct {
+		*c = p.conf.Bump(*c)
+		return
+	}
+	if *c == 0 {
+		*val = actual
+	} else {
+		*c = 0
+	}
+}
+
+// Squash implements Predictor. VTAGE keeps no speculative per-PC value
+// state; the shared global history is rolled back by the pipeline.
+func (p *VTAGE) Squash(fromSeq uint64) {}
+
+// Name implements Predictor.
+func (p *VTAGE) Name() string { return "VTAGE" }
+
+// StorageBits implements Predictor: base entries hold value+confidence;
+// tagged entries add the partial tag and the u bit (Table 1: 68.6 kB +
+// 64.1 kB in the paper's configuration).
+func (p *VTAGE) StorageBits() int {
+	bits := len(p.base) * (64 + 3)
+	for i := range p.comps {
+		c := &p.comps[i]
+		bits += len(c.entries) * (c.tagBits + 64 + 3 + 1)
+	}
+	return bits
+}
+
+// HistLen returns the history length of tagged component k (for tests and
+// the Table 1 printer).
+func (p *VTAGE) HistLen(k int) int { return p.comps[k].histLen }

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ghist"
+)
+
+func TestVTAGEHistoryLengthsAreGeometric(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	want := []int{2, 4, 8, 16, 32, 64}
+	for k := 0; k < NComp; k++ {
+		if got := p.HistLen(k); got != want[k] {
+			t.Errorf("component %d history length = %d, want %d", k, got, want[k])
+		}
+	}
+}
+
+func TestVTAGEBaseActsAsLVP(t *testing.T) {
+	// With no branch history activity, VTAGE's base component learns
+	// constants exactly like LVP.
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	correct, wrong := drive(p, 42, constSeq(77, 40), 25)
+	if wrong != 0 {
+		t.Errorf("VTAGE wrong confident predictions on constant: %d", wrong)
+	}
+	if correct < 25 {
+		t.Errorf("VTAGE confident-correct = %d, want 25", correct)
+	}
+}
+
+// branchCorrelatedRun simulates a µop whose value is determined by the
+// preceding branch outcome — the pattern VTAGE is built for and that LVP and
+// Stride cannot capture.
+func branchCorrelatedRun(p Predictor, h *ghist.History, n int, tail int) (confCorrect, confWrong int) {
+	const pc = 7
+	vals := [2]Value{111, 999}
+	for i := 0; i < n; i++ {
+		dir := (i/3)%2 == 0 // direction alternates every 3 iterations
+		h.Push(dir, 0x40)
+		v := vals[0]
+		if dir {
+			v = vals[1]
+		}
+		m := p.Predict(pc)
+		if m.Conf && i >= n-tail {
+			if m.Pred == v {
+				confCorrect++
+			} else {
+				confWrong++
+			}
+		}
+		p.Train(pc, v, &m)
+	}
+	return
+}
+
+func TestVTAGECapturesControlFlowCorrelatedValues(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	correct, wrong := branchCorrelatedRun(p, &h, 3000, 500)
+	total := correct + wrong
+	if total == 0 {
+		t.Fatal("VTAGE never became confident on branch-correlated values")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.95 {
+		t.Errorf("VTAGE accuracy on branch-correlated values = %.3f, want ≥ 0.95", acc)
+	}
+	if correct < 250 {
+		t.Errorf("VTAGE coverage too low: %d confident-correct of last 500", correct)
+	}
+}
+
+func TestLVPCannotCaptureControlFlowCorrelatedValues(t *testing.T) {
+	var h ghist.History
+	p := NewLVP(13, FPCBaseline, 1)
+	correct, wrong := branchCorrelatedRun(p, &h, 3000, 500)
+	// The value changes every 3 occurrences; a 3-bit confidence counter
+	// needs 7 repeats, so LVP should essentially never be confident.
+	if correct+wrong > 50 {
+		t.Errorf("LVP was confident %d times on branch-correlated values", correct+wrong)
+	}
+}
+
+func TestVTAGEAllocatesOnMisprediction(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+
+	// Push some history so tagged components have context to hash.
+	for i := 0; i < 64; i++ {
+		h.Push(i%2 == 0, uint64(i))
+	}
+	m := p.Predict(5)
+	if m.C1.Prov != -1 {
+		t.Fatalf("fresh predictor has provider %d, want base (-1)", m.C1.Prov)
+	}
+	p.Train(5, 123, &m) // base learns 123... and a mispredict (pred was 0)
+	m2 := p.Predict(5)
+	// After the mispredicting first occurrence an upper entry was allocated.
+	if m2.C1.Prov < 0 {
+		t.Error("no tagged component allocated after misprediction")
+	}
+	if m2.Pred != 123 {
+		t.Errorf("allocated entry predicts %d, want 123", m2.Pred)
+	}
+}
+
+func TestVTAGEUsefulBitProtectsEntries(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	for i := 0; i < 10; i++ {
+		h.Push(true, uint64(i))
+	}
+	// Train one PC until its provider entry is useful (correct prediction).
+	var m Meta
+	for i := 0; i < 5; i++ {
+		m = p.Predict(11)
+		p.Train(11, 55, &m)
+	}
+	m = p.Predict(11)
+	if m.Pred != 55 {
+		t.Fatalf("prediction = %d, want 55", m.Pred)
+	}
+	prov := m.C1.Prov
+	if prov >= 0 {
+		e := p.comps[prov].entries[m.C1.Idx[prov+1]]
+		if e.u != 1 {
+			t.Error("provider entry not marked useful after correct prediction")
+		}
+	}
+}
+
+func TestVTAGEConfidenceGatesUse(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCCommit), &h)
+	// With FPCCommit (expected streak 129) a short constant run must NOT
+	// produce confident predictions.
+	correct, wrong := drive(p, 3, constSeq(9, 30), 30)
+	if correct+wrong != 0 {
+		t.Errorf("FPC-commit VTAGE confident after only 30 occurrences (%d uses)", correct+wrong)
+	}
+}
+
+func TestVTAGEStorageMatchesPaper(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	gotKB := float64(p.StorageBits()) / 8 / 1000
+	// Paper: 68.6 + 64.1 = 132.7 kB.
+	if gotKB < 125 || gotKB > 140 {
+		t.Errorf("VTAGE storage = %.1f kB, want ≈ 132.7 kB", gotKB)
+	}
+}
+
+// Property: Predict never panics and the provider index is always in range
+// for arbitrary PCs and history states.
+func TestVTAGEPredictRobustProperty(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	f := func(pc uint64, taken bool, bpc uint16) bool {
+		h.Push(taken, uint64(bpc))
+		m := p.Predict(pc)
+		if m.C1.Prov < -1 || m.C1.Prov >= NComp {
+			return false
+		}
+		p.Train(pc, pc*3, &m)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a rolled-back history, VTAGE indices are reproducible —
+// predicting, pushing noise, rolling back, and predicting again yields the
+// same indices and tags (the pipeline relies on this for squash repair).
+func TestVTAGEIndicesStableUnderRollback(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	for i := 0; i < 100; i++ {
+		h.Push(i%3 == 0, uint64(i))
+	}
+	pos := h.Pos()
+	m1 := p.Predict(77)
+	for i := 0; i < 40; i++ {
+		h.Push(i%2 == 0, uint64(1000+i))
+	}
+	h.RollTo(pos)
+	m2 := p.Predict(77)
+	if m1.C1.Idx != m2.C1.Idx || m1.C1.Tag != m2.C1.Tag {
+		t.Error("VTAGE indices/tags not reproducible after history rollback")
+	}
+}
+
+// Property: component tags always fit their declared widths (12+rank bits).
+func TestVTAGETagWidthProperty(t *testing.T) {
+	var h ghist.History
+	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
+	f := func(pc uint64, taken bool) bool {
+		h.Push(taken, pc)
+		m := p.Predict(pc)
+		for k := 0; k < NComp; k++ {
+			if uint64(m.C1.Tag[k]) >= uint64(1)<<(13+k) {
+				return false
+			}
+			if m.C1.Idx[k+1] >= 1024 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two VTAGE instances over histories fed identically must produce identical
+// predictions — determinism across the shared-history boundary.
+func TestVTAGEDeterministicAcrossInstances(t *testing.T) {
+	var h1, h2 ghist.History
+	p1 := NewVTAGE(DefaultVTAGEConfig(FPCCommit), &h1)
+	p2 := NewVTAGE(DefaultVTAGEConfig(FPCCommit), &h2)
+	for i := 0; i < 2000; i++ {
+		taken := i%3 == 0
+		h1.Push(taken, uint64(i%7))
+		h2.Push(taken, uint64(i%7))
+		pc := uint64(i % 13)
+		m1 := p1.Predict(pc)
+		m2 := p2.Predict(pc)
+		if m1.Pred != m2.Pred || m1.Conf != m2.Conf {
+			t.Fatalf("instances diverged at step %d", i)
+		}
+		v := Value(i % 5)
+		p1.Train(pc, v, &m1)
+		p2.Train(pc, v, &m2)
+	}
+}

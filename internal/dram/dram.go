@@ -1,0 +1,150 @@
+// Package dram models the paper's main memory (Table 2): a single-channel
+// DDR3-1600 11-11-11 part with 2 ranks of 8 banks, 8K row buffers, and
+// periodic refresh (tREFI 7.8µs), behind a 64-byte bus. All timing is in CPU
+// cycles at the paper's 4 GHz clock (1 DRAM cycle = 5 CPU cycles), giving
+// the paper's 75-cycle minimum and ~185-cycle maximum read latency.
+package dram
+
+// Config holds the DDR3 timing parameters in CPU cycles.
+type Config struct {
+	TCAS     int64 // column access (CL=11 → 55)
+	TRCD     int64 // row to column (11 → 55)
+	TRP      int64 // precharge (11 → 55)
+	Burst    int64 // data burst over the 64B bus (BL8 → 4 DRAM cycles → 20)
+	TREFI    int64 // refresh interval (7.8µs → 31200)
+	TRFC     int64 // refresh cycle time (~260ns → 1040)
+	Ranks    int
+	Banks    int    // banks per rank
+	RowBytes uint64 // row buffer size (8K)
+}
+
+// DefaultConfig is the paper's Table 2 memory.
+func DefaultConfig() Config {
+	return Config{
+		TCAS:     55,
+		TRCD:     55,
+		TRP:      55,
+		Burst:    20,
+		TREFI:    31200,
+		TRFC:     1040,
+		Ranks:    2,
+		Banks:    8,
+		RowBytes: 8192,
+	}
+}
+
+// Memory is a single-channel DDR3 timing model. It is not a data store —
+// functional data lives in the emulator; Memory answers only "when does this
+// access complete".
+type Memory struct {
+	cfg   Config
+	banks []bank
+	// busFree is when the shared data bus next becomes available.
+	busFree int64
+	// refDone is the end of the most recently processed refresh window.
+	refDone int64
+	nextRef int64
+
+	reads, writes    uint64
+	rowHits, rowMiss uint64
+	rowConf          uint64
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	busyTill int64
+}
+
+// New builds a memory with cfg.
+func New(cfg Config) *Memory {
+	return &Memory{
+		cfg:     cfg,
+		banks:   make([]bank, cfg.Ranks*cfg.Banks),
+		nextRef: cfg.TREFI,
+	}
+}
+
+// decode splits a line address into bank and row. The bank index folds
+// higher address bits in (as real memory controllers do) so that strided
+// access patterns whose stride is a multiple of the bank count still spread
+// across banks instead of serializing on one.
+func (m *Memory) decode(addr uint64) (bankIdx int, row uint64) {
+	line := addr >> 6
+	nb := uint64(len(m.banks))
+	bankIdx = int((line ^ line>>4 ^ line>>9 ^ line>>14) % nb)
+	row = (addr / nb) / m.cfg.RowBytes
+	return
+}
+
+// refreshWait advances the refresh schedule to now and returns the extra
+// wait if now falls inside a refresh window (all banks busy).
+func (m *Memory) refreshWait(now int64) int64 {
+	for m.nextRef <= now {
+		m.refDone = m.nextRef + m.cfg.TRFC
+		m.nextRef += m.cfg.TREFI
+	}
+	if now < m.refDone {
+		return m.refDone - now
+	}
+	return 0
+}
+
+// Access issues a read or write for the line containing addr at CPU cycle
+// now and returns the cycle its data transfer completes. Writes release the
+// requester immediately in the cache model; the returned time still occupies
+// the bank and bus.
+func (m *Memory) Access(now int64, addr uint64, write bool) int64 {
+	if write {
+		m.writes++
+	} else {
+		m.reads++
+	}
+	now += m.refreshWait(now)
+
+	bi, row := m.decode(addr)
+	b := &m.banks[bi]
+
+	start := now
+	if b.busyTill > start {
+		start = b.busyTill
+	}
+
+	var lat int64
+	switch {
+	case b.rowValid && b.openRow == row:
+		m.rowHits++
+		lat = m.cfg.TCAS
+	case !b.rowValid:
+		m.rowMiss++
+		lat = m.cfg.TRCD + m.cfg.TCAS
+	default:
+		m.rowConf++
+		lat = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS
+	}
+	b.openRow = row
+	b.rowValid = true
+
+	ready := start + lat
+	// The data burst needs the shared bus.
+	if m.busFree > ready {
+		ready = m.busFree
+	}
+	done := ready + m.cfg.Burst
+	m.busFree = done
+	b.busyTill = done
+	return done
+}
+
+// Stats reports access counts and row-buffer behaviour.
+func (m *Memory) Stats() (reads, writes, rowHits, rowMiss, rowConf uint64) {
+	return m.reads, m.writes, m.rowHits, m.rowMiss, m.rowConf
+}
+
+// MinReadLatency returns the unloaded row-hit latency (paper: 75).
+func (m *Memory) MinReadLatency() int64 { return m.cfg.TCAS + m.cfg.Burst }
+
+// MaxReadLatency returns the unloaded row-conflict latency (paper: 185).
+func (m *Memory) MaxReadLatency() int64 {
+	return m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS + m.cfg.Burst
+}

@@ -1,0 +1,106 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnloadedRowHitLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	// First access opens the row (closed bank): tRCD + tCAS + burst.
+	d1 := m.Access(0, 0x1000, false)
+	if want := int64(55 + 55 + 20); d1 != want {
+		t.Errorf("first access latency = %d, want %d", d1, want)
+	}
+	// Second access to the same row far in the future: row hit, 75 cycles.
+	now := int64(1_000_000)
+	d2 := m.Access(now, 0x1000, false)
+	if got := d2 - now; got != m.MinReadLatency() {
+		t.Errorf("row-hit latency = %d, want %d", got, m.MinReadLatency())
+	}
+	if m.MinReadLatency() != 75 {
+		t.Errorf("MinReadLatency = %d, want 75 (paper Table 2)", m.MinReadLatency())
+	}
+}
+
+func TestRowConflictLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	// Open a row on some bank, then find an address on the same bank in a
+	// different row (the bank index is hashed, so search for a collision).
+	m.Access(0, 0, false)
+	b0, r0 := m.decode(0)
+	var conflict uint64
+	found := false
+	for a := uint64(1 << 12); a < 1<<30 && !found; a += 1 << 12 {
+		if b, r := m.decode(a); b == b0 && r != r0 {
+			conflict, found = a, true
+		}
+	}
+	if !found {
+		t.Fatal("no same-bank different-row address found")
+	}
+	now := int64(1_000_000)
+	d := m.Access(now, conflict, false)
+	if got := d - now; got != m.MaxReadLatency() {
+		t.Errorf("row-conflict latency = %d, want %d", got, m.MaxReadLatency())
+	}
+	if m.MaxReadLatency() != 185 {
+		t.Errorf("MaxReadLatency = %d, want 185 (paper Table 2)", m.MaxReadLatency())
+	}
+}
+
+func TestBankOccupancySerializes(t *testing.T) {
+	m := New(DefaultConfig())
+	d1 := m.Access(0, 0, false)
+	d2 := m.Access(0, 0, false) // same bank, same cycle: must queue
+	if d2 <= d1 {
+		t.Errorf("second access done at %d, not after first at %d", d2, d1)
+	}
+}
+
+func TestBankParallelismOverlaps(t *testing.T) {
+	m := New(DefaultConfig())
+	d1 := m.Access(0, 0, false)
+	d2 := m.Access(0, 64, false) // next line -> different bank
+	// Bank work overlaps; only the burst serializes on the bus.
+	if d2-d1 >= 75 {
+		t.Errorf("bank-parallel accesses serialized fully: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestRefreshStallsAccesses(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	// Land exactly inside the first refresh window.
+	inRef := cfg.TREFI + 1
+	d := m.Access(inRef, 0, false)
+	minDone := cfg.TREFI + cfg.TRFC // cannot start before refresh completes
+	if d < minDone {
+		t.Errorf("access during refresh done at %d, want ≥ %d", d, minDone)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 0, false)
+	m.Access(0, 64, true)
+	r, w, _, _, _ := m.Stats()
+	if r != 1 || w != 1 {
+		t.Errorf("reads,writes = %d,%d, want 1,1", r, w)
+	}
+}
+
+// Property: completion times are monotonically consistent — an access never
+// completes before it starts plus the minimum latency.
+func TestLatencyLowerBoundProperty(t *testing.T) {
+	m := New(DefaultConfig())
+	now := int64(0)
+	f := func(addrSeed uint32, gap uint16) bool {
+		now += int64(gap)
+		done := m.Access(now, uint64(addrSeed)*64, false)
+		return done >= now+m.MinReadLatency()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package ghist maintains the speculative global branch history and path
+// history shared by the TAGE branch predictor and the VTAGE value predictor.
+//
+// The history is a ring of conditional-branch outcomes plus a ring of branch
+// PC low bits (the path). Predictors register folded views (circular-shift
+// XOR folds of the most recent L bits into W-bit indices, as in TAGE/ITTAGE
+// hardware); folds are maintained incrementally on every push and rebuilt by
+// replay on rollback, which the pipeline invokes when it squashes.
+package ghist
+
+const (
+	// Capacity is the number of outcomes retained; it bounds the longest
+	// usable history length. Power of two.
+	Capacity = 2048
+	capMask  = Capacity - 1
+)
+
+// Fold is a handle to one registered folded view of the history.
+type Fold int
+
+type foldSpec struct {
+	length int    // history bits folded
+	width  int    // output index width in bits
+	path   bool   // fold the path ring instead of the outcome ring
+	val    uint64 // current folded value
+}
+
+// History is the speculative global history. The zero value is an empty
+// history with no registered folds, ready to use.
+type History struct {
+	bits  [Capacity]byte   // outcome ring: 0 or 1
+	path  [Capacity]uint16 // PC low bits of every control µop
+	pos   uint64           // total pushes so far; ring index = pos & capMask
+	folds []foldSpec
+}
+
+// Pos returns the current history position (total outcomes pushed). Pipeline
+// components snapshot Pos per in-flight µop and RollTo it on squash.
+func (h *History) Pos() uint64 { return h.pos }
+
+// Push appends one branch outcome and its PC to the history and updates all
+// registered folds.
+func (h *History) Push(taken bool, pc uint64) {
+	var b byte
+	if taken {
+		b = 1
+	}
+	idx := h.pos & capMask
+	h.bits[idx] = b
+	h.path[idx] = uint16(pc)
+	h.pos++
+	for i := range h.folds {
+		h.stepFold(&h.folds[i])
+	}
+}
+
+// stepFold advances fold f for the outcome/path just pushed (h.pos already
+// incremented). Classic TAGE circular shift register: rotate left by 1,
+// insert the new bit, remove the bit that fell off the history window.
+func (h *History) stepFold(f *foldSpec) {
+	mask := uint64(1)<<f.width - 1
+	f.val = ((f.val << 1) | (f.val >> (f.width - 1))) & mask
+	f.val ^= uint64(h.recent(0, f.path))
+	if h.pos >= uint64(f.length) {
+		// The evicted entry was inserted (masked to width bits) length pushes
+		// ago and has been rotated length%width positions since.
+		old := uint64(h.recent(f.length, f.path)) & mask
+		f.val ^= rotl(old, uint(f.length%f.width), f.width)
+	}
+	f.val &= mask
+}
+
+func rotl(v uint64, n uint, width int) uint64 {
+	n %= uint(width)
+	mask := uint64(1)<<width - 1
+	return ((v << n) | (v >> (uint(width) - n))) & mask
+}
+
+// recent returns the i-th most recent entry (i=0 is the newest) from the
+// outcome ring, or the path ring when path is set.
+func (h *History) recent(i int, path bool) uint16 {
+	idx := (h.pos - 1 - uint64(i)) & capMask
+	if path {
+		return h.path[idx]
+	}
+	return uint16(h.bits[idx])
+}
+
+// RegisterFold registers a folded view of the last length outcomes (or path
+// entries) into width bits and returns its handle. Must be called before any
+// Push for the fold to be exact; predictors register all folds at
+// construction time.
+func (h *History) RegisterFold(length, width int, path bool) Fold {
+	// The ring overwrites the slot that is exactly Capacity pushes old at
+	// every push, so the longest window whose eviction is still readable is
+	// Capacity-1.
+	if length > Capacity-1 {
+		length = Capacity - 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	h.folds = append(h.folds, foldSpec{length: length, width: width, path: path})
+	h.rebuildFold(len(h.folds) - 1)
+	return Fold(len(h.folds) - 1)
+}
+
+// Folded returns the current value of fold f.
+func (h *History) Folded(f Fold) uint64 { return h.folds[f].val }
+
+// RollTo rewinds the history to position pos (forgetting newer outcomes) and
+// rebuilds every fold by replay. pos must not be older than what the ring
+// still holds.
+func (h *History) RollTo(pos uint64) {
+	if pos > h.pos {
+		return // nothing newer to forget
+	}
+	if h.pos-pos > Capacity {
+		pos = h.pos - Capacity
+	}
+	h.pos = pos
+	for i := range h.folds {
+		h.rebuildFold(i)
+	}
+}
+
+// rebuildFold recomputes fold i from the ring contents by replaying the last
+// length entries oldest-first through the same rotate-insert step.
+func (h *History) rebuildFold(i int) {
+	f := &h.folds[i]
+	n := f.length
+	if uint64(n) > h.pos {
+		n = int(h.pos)
+	}
+	mask := uint64(1)<<f.width - 1
+	var v uint64
+	for j := n - 1; j >= 0; j-- { // oldest within window first
+		v = ((v << 1) | (v >> (f.width - 1))) & mask
+		v ^= uint64(h.recent(j, f.path))
+		v &= mask
+	}
+	f.val = v
+}
+
+// Bit returns the i-th most recent outcome (i=0 newest). It returns false
+// beyond the recorded history.
+func (h *History) Bit(i int) bool {
+	if uint64(i) >= h.pos || i >= Capacity {
+		return false
+	}
+	return h.recent(i, false) == 1
+}

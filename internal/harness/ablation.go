@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ghist"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// RunCustom simulates kernel under recovery rec with a caller-built
+// predictor — the hook for ablations that vary predictor parameters outside
+// the named configurations. Results are not memoized.
+func (se *Session) RunCustom(kernel string, rec pipeline.RecoveryMode, mk func(h *ghist.History) core.Predictor) (*pipeline.Stats, error) {
+	tr, err := se.trace(kernel)
+	if err != nil {
+		return nil, err
+	}
+	h := &ghist.History{}
+	var pred core.Predictor
+	if mk != nil {
+		pred = mk(h)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Recovery = rec
+	sim := pipeline.New(cfg, tr, pred, h)
+	return sim.Run(se.Warmup, se.Measure)
+}
+
+// ablationKernels is a small representative set: a large-gain kernel, a
+// context-predictable one, a drift-heavy one, and a VP-neutral one.
+var ablationKernels = []string{"art", "gcc", "gobmk", "milc"}
+
+// fpcPoint is one confidence strength in the FPC ablation.
+type fpcPoint struct {
+	name string
+	vec  core.FPCVector
+}
+
+// fpcSweep spans deterministic 3-bit counters up to an 8-bit-equivalent FPC.
+// ExpectedStreak: 7, 33, 65, 129, 257.
+var fpcSweep = []fpcPoint{
+	{"3-bit", core.FPCBaseline},
+	{"5-bit eq", core.FPCVector{0, 2, 2, 2, 2, 3, 3}},
+	{"6-bit eq", core.FPCReissue},
+	{"7-bit eq", core.FPCCommit},
+	{"8-bit eq", core.FPCVector{0, 5, 5, 5, 5, 6, 6}},
+}
+
+// runAblFPC sweeps the FPC probability vector on VTAGE under squash-at-commit
+// recovery: the Section 5 trade-off between coverage (weak counters) and
+// accuracy (strong counters), and the basis for the paper's suggestion of
+// adapting probabilities at run time.
+func runAblFPC(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "VTAGE under squash-at-commit, varying confidence strength\n")
+	fmt.Fprintf(w, "%-8s", "kernel")
+	for _, p := range fpcSweep {
+		fmt.Fprintf(w, " %22s", p.name)
+	}
+	fmt.Fprintf(w, "\n%-8s", "")
+	for range fpcSweep {
+		fmt.Fprintf(w, " %8s %6s %6s", "speedup", "cov%", "acc%")
+	}
+	fmt.Fprintln(w)
+	for _, k := range ablationKernels {
+		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s", k)
+		for _, p := range fpcSweep {
+			vec := p.vec
+			st, err := se.RunCustom(k, pipeline.SquashAtCommit, func(h *ghist.History) core.Predictor {
+				return core.NewVTAGE(core.DefaultVTAGEConfig(vec), h)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %8.3f %6.1f %6.2f",
+				st.IPC()/base.Stats.IPC(), 100*st.Coverage(), 100*st.Accuracy())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(stronger counters: less coverage, higher accuracy, fewer squashes)")
+	return nil
+}
+
+// runExtPredictors compares the extension predictors the paper references
+// but does not chart: the Per-Path Stride predictor (footnote 4: "on par
+// with 2D-Str") and gDiff [27] (composable global-stride prediction).
+func runExtPredictors(se *Session, w io.Writer) error {
+	preds := []string{"stride", "ps", "vtage", "gdiff"}
+	if err := speedupMatrix(se, w, preds, FPC, pipeline.SquashAtCommit); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "(paper footnote 4: PS performance was on par with 2D-Str)")
+	return nil
+}
+
+// runAblHist sweeps VTAGE's maximum history length: too short loses
+// control-flow context, too long dilutes capacity across components and
+// slows learning — the paper picked 2..64 as "a good tradeoff".
+func runAblHist(se *Session, w io.Writer) error {
+	maxHists := []int{8, 64, 256}
+	fmt.Fprintf(w, "VTAGE with FPC and squash-at-commit, varying max history length\n")
+	fmt.Fprintf(w, "%-8s", "kernel")
+	for _, mh := range maxHists {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("max=%d", mh))
+	}
+	fmt.Fprintln(w, "   (speedup)")
+	for _, k := range ablationKernels {
+		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s", k)
+		for _, mh := range maxHists {
+			mh := mh
+			st, err := se.RunCustom(k, pipeline.SquashAtCommit, func(h *ghist.History) core.Predictor {
+				cfg := core.DefaultVTAGEConfig(core.FPCCommit)
+				cfg.MaxHist = mh
+				return core.NewVTAGE(cfg, h)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %10.3f", st.IPC()/base.Stats.IPC())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runProfile renders the workload characterization table: the evidence for
+// the Table 3 substitution argument (which predictor family each kernel is
+// built to exercise).
+func runProfile(se *Session, w io.Writer) error {
+	fmt.Fprintln(w, stats.Header())
+	for _, k := range KernelNames() {
+		tr, err := se.trace(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, stats.Compute(tr).Row(k))
+	}
+	fmt.Fprintln(w, "(lastv%/stride% bound what last-value and stride predictors can cover)")
+	return nil
+}
+
+// runAblLoads compares predicting every register-producing µop (the paper's
+// deployment) with classic load-value prediction only: loads carry the
+// longest latencies, but the paper's whole-instruction scope also breaks
+// ALU/FP dependence chains.
+func runAblLoads(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "VTAGE-2DStr hybrid with FPC, squash-at-commit: all µops vs loads only\n")
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "kernel", "all uops", "loads only")
+	for _, k := range []string{"art", "parser", "gamess", "vortex", "hmmer", "lbm"} {
+		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
+		if err != nil {
+			return err
+		}
+		all, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC})
+		if err != nil {
+			return err
+		}
+		tr, err := se.trace(k)
+		if err != nil {
+			return err
+		}
+		h := &ghist.History{}
+		pred, err := NewPredictor("vtage+stride", FPC.Vector(pipeline.SquashAtCommit), h)
+		if err != nil {
+			return err
+		}
+		cfg := pipeline.DefaultConfig()
+		cfg.PredictLoadsOnly = true
+		st, err := pipeline.New(cfg, tr, pred, h).Run(se.Warmup, se.Measure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %12.3f %12.3f\n", k, all, st.IPC()/base.Stats.IPC())
+	}
+	fmt.Fprintln(w, "(the paper predicts every register-producing µop, §7.2)")
+	return nil
+}
+
+// widthPoints are the machine widths for the width-sensitivity ablation.
+var widthPoints = []int{4, 8}
+
+// runAblWidth shows the paper's premise — value prediction is a lever for
+// wide machines: on a narrower pipeline the same predictor buys less,
+// because fewer independent µops are waiting on the broken dependences.
+func runAblWidth(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "VTAGE-2DStr with FPC, squash-at-commit: speedup vs machine width\n")
+	fmt.Fprintf(w, "%-10s", "kernel")
+	for _, wd := range widthPoints {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("%d-wide", wd))
+	}
+	fmt.Fprintln(w)
+	for _, k := range []string{"art", "parser", "gamess", "gcc"} {
+		fmt.Fprintf(w, "%-10s", k)
+		for _, wd := range widthPoints {
+			tr, err := se.trace(k)
+			if err != nil {
+				return err
+			}
+			mkCfg := func() pipeline.Config {
+				cfg := pipeline.DefaultConfig()
+				cfg.FetchWidth = wd
+				cfg.DispatchWidth = wd
+				cfg.IssueWidth = wd
+				cfg.RetireWidth = wd
+				return cfg
+			}
+			bst, err := pipeline.New(mkCfg(), tr, nil, nil).Run(se.Warmup, se.Measure)
+			if err != nil {
+				return err
+			}
+			h := &ghist.History{}
+			pred, err := NewPredictor("vtage+stride", FPC.Vector(pipeline.SquashAtCommit), h)
+			if err != nil {
+				return err
+			}
+			pst, err := pipeline.New(mkCfg(), tr, pred, h).Run(se.Warmup, se.Measure)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12.3f", pst.IPC()/bst.IPC())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

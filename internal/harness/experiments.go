@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/pipeline"
+	"repro/internal/regfile"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(se *Session, w io.Writer) error
+}
+
+// Experiments returns every experiment in DESIGN.md §5 order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: predictor layout summary", runTable1},
+		{"table2", "Table 2: simulator configuration", runTable2},
+		{"table3", "Table 3: benchmarks (synthetic equivalents)", runTable3},
+		{"fig1", "Fig. 1 motivation: back-to-back VP-eligible fetches", runFig1},
+		{"fig3", "Fig. 3: speedup upper bound with a perfect predictor", runFig3},
+		{"fig4", "Fig. 4: speedup, squash at commit (a: baseline counters, b: FPC)", runFig4},
+		{"fig5", "Fig. 5: speedup, selective reissue (a: baseline counters, b: FPC)", runFig5},
+		{"fig6", "Fig. 6: VTAGE speedup and coverage, baseline vs FPC", runFig6},
+		{"fig7", "Fig. 7: hybrid predictors, speedup and coverage (FPC, squash)", runFig7},
+		{"acc", "Accuracy: baseline counters vs FPC (Section 8.2)", runAccuracy},
+		{"sec3", "Section 3.1.1: recovery cost model", runSec3},
+		{"sec4", "Section 4: register file port cost model", runSec4},
+		{"abl-fpc", "Ablation (beyond the paper): FPC vector strength sweep", runAblFPC},
+		{"abl-hist", "Ablation (beyond the paper): VTAGE max history length", runAblHist},
+		{"ext-pred", "Extension predictors (paper refs): PS and gDiff vs 2D-Str and VTAGE", runExtPredictors},
+		{"profile", "Workload characterization: mix, footprint, value locality", runProfile},
+		{"abl-loads", "Ablation (beyond the paper): all-uop VP vs loads-only VP", runAblLoads},
+		{"abl-width", "Ablation (beyond the paper): VP gain vs machine width", runAblWidth},
+	}
+}
+
+// ExperimentByID returns the named experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func runTable1(se *Session, w io.Writer) error {
+	_, err := io.WriteString(w, core.FormatTable1())
+	return err
+}
+
+func runTable2(se *Session, w io.Writer) error {
+	_, err := io.WriteString(w, pipeline.DefaultConfig().FormatTable2())
+	return err
+}
+
+func runTable3(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-22s %s\n", "Kernel", "Stands in for", "Class")
+	for _, k := range kernels.All() {
+		class := "INT"
+		if k.FP {
+			class = "FP"
+		}
+		fmt.Fprintf(w, "%-10s %-22s %s\n", k.Name, k.Paper, class)
+	}
+	return nil
+}
+
+func runFig1(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %10s\n", "kernel", "b2b frac")
+	var fracs []float64
+	for _, k := range KernelNames() {
+		r, err := se.Run(Spec{Kernel: k, Predictor: "none"})
+		if err != nil {
+			return err
+		}
+		f := r.Stats.B2BFraction()
+		fracs = append(fracs, f)
+		fmt.Fprintf(w, "%-10s %9.1f%%\n", k, 100*f)
+	}
+	fmt.Fprintf(w, "%-10s %9.1f%%\n", "amean", 100*AMean(fracs))
+	fmt.Fprintf(w, "%-10s %9.1f%%\n", "max", 100*Max(fracs))
+	fmt.Fprintf(w, "(paper: 3.4%% amean, 15.3%% max on SPEC)\n")
+	return nil
+}
+
+func runFig3(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %8s\n", "kernel", "speedup")
+	var sp []float64
+	for _, k := range KernelNames() {
+		s, err := se.Speedup(Spec{Kernel: k, Predictor: "oracle"})
+		if err != nil {
+			return err
+		}
+		sp = append(sp, s)
+		fmt.Fprintf(w, "%-10s %8.2f\n", k, s)
+	}
+	fmt.Fprintf(w, "%-10s %8.2f\n", "amean", AMean(sp))
+	fmt.Fprintf(w, "%-10s %8.2f\n", "max", Max(sp))
+	fmt.Fprintf(w, "(paper: up to 3.3x with an oracle predictor)\n")
+	return nil
+}
+
+// speedupMatrix renders one speedup table: kernels x predictors.
+func speedupMatrix(se *Session, w io.Writer, preds []string, c Counters, rec pipeline.RecoveryMode) error {
+	fmt.Fprintf(w, "%-10s", "kernel")
+	for _, p := range preds {
+		fmt.Fprintf(w, " %12s", DisplayName(p))
+	}
+	fmt.Fprintln(w)
+	means := make([]float64, len(preds))
+	for _, k := range KernelNames() {
+		fmt.Fprintf(w, "%-10s", k)
+		for i, p := range preds {
+			s, err := se.Speedup(Spec{Kernel: k, Predictor: p, Counters: c, Recovery: rec})
+			if err != nil {
+				return err
+			}
+			means[i] += s
+			fmt.Fprintf(w, " %12.3f", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "amean")
+	for i := range preds {
+		fmt.Fprintf(w, " %12.3f", means[i]/float64(len(KernelNames())))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+var singlePredictors = []string{"lvp", "stride", "fcm", "vtage"}
+
+func runFig4(se *Session, w io.Writer) error {
+	fmt.Fprintln(w, "(a) baseline 3-bit counters, squash at commit")
+	if err := speedupMatrix(se, w, singlePredictors, BaselineCounters, pipeline.SquashAtCommit); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n(b) FPC, squash at commit")
+	return speedupMatrix(se, w, singlePredictors, FPC, pipeline.SquashAtCommit)
+}
+
+func runFig5(se *Session, w io.Writer) error {
+	fmt.Fprintln(w, "(a) baseline 3-bit counters, selective reissue")
+	if err := speedupMatrix(se, w, singlePredictors, BaselineCounters, pipeline.SelectiveReissue); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n(b) FPC, selective reissue")
+	return speedupMatrix(se, w, singlePredictors, FPC, pipeline.SelectiveReissue)
+}
+
+func runFig6(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %14s %10s %14s %10s\n",
+		"kernel", "speedup(base)", "cov(base)", "speedup(FPC)", "cov(FPC)")
+	for _, k := range KernelNames() {
+		sb, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters})
+		if err != nil {
+			return err
+		}
+		rb, err := se.Run(Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters})
+		if err != nil {
+			return err
+		}
+		sf, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
+		if err != nil {
+			return err
+		}
+		rf, err := se.Run(Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %14.3f %9.1f%% %14.3f %9.1f%%\n",
+			k, sb, 100*rb.Stats.Coverage(), sf, 100*rf.Stats.Coverage())
+	}
+	return nil
+}
+
+var hybridPredictors = []string{"stride", "fcm", "vtage", "fcm+stride", "vtage+stride"}
+
+func runFig7(se *Session, w io.Writer) error {
+	fmt.Fprintln(w, "(a) speedup (FPC, squash at commit)")
+	if err := speedupMatrix(se, w, hybridPredictors, FPC, pipeline.SquashAtCommit); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n(b) coverage")
+	fmt.Fprintf(w, "%-10s", "kernel")
+	for _, p := range hybridPredictors {
+		fmt.Fprintf(w, " %12s", DisplayName(p))
+	}
+	fmt.Fprintln(w)
+	for _, k := range KernelNames() {
+		fmt.Fprintf(w, "%-10s", k)
+		for _, p := range hybridPredictors {
+			r, err := se.Run(Spec{Kernel: k, Predictor: p, Counters: FPC})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %11.1f%%", 100*r.Stats.Coverage())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runAccuracy(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s", "kernel")
+	for _, p := range singlePredictors {
+		fmt.Fprintf(w, " %10s(b) %10s(F)", DisplayName(p), DisplayName(p))
+	}
+	fmt.Fprintln(w)
+	worstBase, worstFPC := 1.0, 1.0
+	for _, k := range KernelNames() {
+		fmt.Fprintf(w, "%-10s", k)
+		for _, p := range singlePredictors {
+			rb, err := se.Run(Spec{Kernel: k, Predictor: p, Counters: BaselineCounters})
+			if err != nil {
+				return err
+			}
+			rf, err := se.Run(Spec{Kernel: k, Predictor: p, Counters: FPC})
+			if err != nil {
+				return err
+			}
+			ab, af := rb.Stats.Accuracy(), rf.Stats.Accuracy()
+			if rb.Stats.Used > 100 && ab < worstBase {
+				worstBase = ab
+			}
+			if rf.Stats.Used > 100 && af < worstFPC {
+				worstFPC = af
+			}
+			fmt.Fprintf(w, " %12.4f %12.4f", ab, af)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "worst accuracy: baseline=%.4f FPC=%.4f (paper: baseline 0.94..1.0, FPC > 0.997)\n",
+		worstBase, worstFPC)
+	return nil
+}
+
+func runSec3(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "Recovery cost model, cycles gained per kilo-instruction (Trecov = Pvalue x Nmisp)\n")
+	fmt.Fprintf(w, "%-22s %8s %28s %30s\n", "mechanism", "penalty",
+		"ex.1: 40% cov, 95% acc", "ex.2: 30% cov, 99.75% acc")
+	for _, sc := range analytic.PaperScenarios() {
+		fmt.Fprintf(w, "%-22s %8.0f %28.0f %30.0f\n",
+			sc.Name, sc.Penalty, analytic.Example1(sc.Penalty), analytic.Example2(sc.Penalty))
+	}
+	fmt.Fprintf(w, "(paper: +64/-86/-286 then +88/+83/+76)\n")
+	return nil
+}
+
+func runSec4(se *Session, w io.Writer) error {
+	fmt.Fprintf(w, "Register file area model (Zyuban-Kogge, area ~ (R+W)(R+2W)), issue width W=8\n")
+	fmt.Fprintf(w, "%-30s %6s %6s %10s\n", "design", "R", "W", "area (W^2)")
+	for _, sc := range regfile.Section4Scenarios(8) {
+		fmt.Fprintf(w, "%-30s %6d %6d %10.1f\n", sc.Name, sc.ReadPorts, sc.WritePorts, sc.AreaUnits)
+	}
+	fmt.Fprintf(w, "(paper: 12W^2 baseline, 24W^2 naive VP, 35W^2/2 with W/2 buffered ports)\n")
+	return nil
+}
+
+// RunAll executes every experiment into w, with headers.
+func RunAll(se *Session, w io.Writer) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(se, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w, strings.Repeat("-", 70))
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package harness runs the paper's experiments: it wires kernels, value
+// predictors, and machine configurations together, caches shared runs (the
+// baseline machine appears in every figure), and renders each table and
+// figure of the evaluation section as text. The per-experiment index lives
+// in DESIGN.md §5.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/ghist"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/pipeline"
+)
+
+// PredictorNames lists the constructible predictor configurations. "ps" and
+// "gdiff" are the extension predictors the paper references but does not
+// evaluate in its figures (footnote 4 and Section 2).
+var PredictorNames = []string{
+	"none", "lvp", "stride", "fcm", "vtage", "oracle",
+	"fcm+stride", "vtage+stride", "ps", "gdiff",
+}
+
+// NewPredictor constructs the named predictor with confidence vector vec
+// over the shared history h. "none" returns nil (the baseline machine).
+func NewPredictor(name string, vec core.FPCVector, h *ghist.History) (core.Predictor, error) {
+	const seed = 0xC0FFEE
+	switch name {
+	case "none":
+		return nil, nil
+	case "lvp":
+		return core.NewLVP(13, vec, seed), nil
+	case "stride":
+		return core.NewStride2D(13, vec, seed), nil
+	case "fcm":
+		return core.NewFCM(4, 13, vec, seed), nil
+	case "vtage":
+		return core.NewVTAGE(core.DefaultVTAGEConfig(vec), h), nil
+	case "oracle":
+		return &core.Oracle{}, nil
+	case "fcm+stride":
+		return core.NewHybrid(core.NewFCM(4, 13, vec, seed), core.NewStride2D(13, vec, seed+1)), nil
+	case "vtage+stride":
+		return core.NewHybrid(core.NewVTAGE(core.DefaultVTAGEConfig(vec), h), core.NewStride2D(13, vec, seed+1)), nil
+	case "ps":
+		return core.NewPS(13, 13, vec, seed, h), nil
+	case "gdiff":
+		return core.NewGDiff(13, vec, seed), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown predictor %q", name)
+	}
+}
+
+// DisplayName maps predictor config names to the paper's labels.
+func DisplayName(name string) string {
+	switch name {
+	case "none":
+		return "Baseline"
+	case "lvp":
+		return "LVP"
+	case "stride":
+		return "2D-Str"
+	case "fcm":
+		return "o4-FCM"
+	case "vtage":
+		return "VTAGE"
+	case "oracle":
+		return "Oracle"
+	case "fcm+stride":
+		return "o4-FCM-2DStr"
+	case "vtage+stride":
+		return "VTAGE-2DStr"
+	case "ps":
+		return "PS"
+	case "gdiff":
+		return "gDiff"
+	}
+	return name
+}
+
+// Counters selects the confidence scheme of a run.
+type Counters int
+
+const (
+	// BaselineCounters are plain 3-bit saturating counters (Fig. 4a/5a).
+	BaselineCounters Counters = iota
+	// FPC uses the paper's forward probabilistic counters, matched to the
+	// recovery mechanism (7-bit-equivalent for squash, 6-bit for reissue).
+	FPC
+)
+
+func (c Counters) String() string {
+	if c == FPC {
+		return "FPC"
+	}
+	return "baseline"
+}
+
+// Vector returns the probability vector for the counter scheme under the
+// given recovery mechanism, following Section 5.
+func (c Counters) Vector(rec pipeline.RecoveryMode) core.FPCVector {
+	if c == BaselineCounters {
+		return core.FPCBaseline
+	}
+	if rec == pipeline.SelectiveReissue {
+		return core.FPCReissue
+	}
+	return core.FPCCommit
+}
+
+// Spec identifies one simulation run.
+type Spec struct {
+	Kernel    string
+	Predictor string
+	Counters  Counters
+	Recovery  pipeline.RecoveryMode
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec  Spec
+	Stats pipeline.Stats
+}
+
+// Session runs experiments with shared settings and memoized results. The
+// zero value is not usable; construct with NewSession.
+type Session struct {
+	Warmup  uint64
+	Measure uint64
+	traces  map[string][]isa.DynInst
+	memo    map[Spec]*Result
+}
+
+// NewSession builds a session with the given measurement window, standing in
+// for the paper's 50M-warmup/50M-measure Simpoint methodology.
+func NewSession(warmup, measure uint64) *Session {
+	return &Session{
+		Warmup:  warmup,
+		Measure: measure,
+		traces:  make(map[string][]isa.DynInst),
+		memo:    make(map[Spec]*Result),
+	}
+}
+
+// DefaultSession sizes runs for interactive use (seconds per figure).
+func DefaultSession() *Session { return NewSession(50_000, 250_000) }
+
+func (se *Session) trace(kernel string) ([]isa.DynInst, error) {
+	if tr, ok := se.traces[kernel]; ok {
+		return tr, nil
+	}
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown kernel %q", kernel)
+	}
+	tr := emu.Trace(k.Build(), int(se.Warmup+se.Measure))
+	se.traces[kernel] = tr
+	return tr, nil
+}
+
+// Run simulates spec (memoized) and returns its result.
+func (se *Session) Run(spec Spec) (*Result, error) {
+	if r, ok := se.memo[spec]; ok {
+		return r, nil
+	}
+	tr, err := se.trace(spec.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	h := &ghist.History{}
+	pred, err := NewPredictor(spec.Predictor, spec.Counters.Vector(spec.Recovery), h)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Recovery = spec.Recovery
+	sim := pipeline.New(cfg, tr, pred, h)
+	st, err := sim.Run(se.Warmup, se.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/%s/%s: %w",
+			spec.Kernel, spec.Predictor, spec.Counters, spec.Recovery, err)
+	}
+	r := &Result{Spec: spec, Stats: *st}
+	se.memo[spec] = r
+	return r, nil
+}
+
+// Speedup returns the ratio of the spec's IPC to the baseline (no-VP)
+// machine's IPC on the same kernel and recovery mode.
+func (se *Session) Speedup(spec Spec) (float64, error) {
+	r, err := se.Run(spec)
+	if err != nil {
+		return 0, err
+	}
+	base, err := se.Run(Spec{Kernel: spec.Kernel, Predictor: "none", Recovery: spec.Recovery})
+	if err != nil {
+		return 0, err
+	}
+	if base.Stats.IPC() == 0 {
+		return 0, fmt.Errorf("harness: zero baseline IPC for %s", spec.Kernel)
+	}
+	return r.Stats.IPC() / base.Stats.IPC(), nil
+}
+
+// AMean returns the arithmetic mean.
+func AMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum element (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// KernelNames returns all kernels in Table 3 order.
+func KernelNames() []string { return kernels.Names() }
+
+// sortedSpecs is a test helper keeping memo iteration deterministic.
+func (se *Session) sortedSpecs() []Spec {
+	out := make([]Spec, 0, len(se.memo))
+	for s := range se.memo {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Predictor != b.Predictor {
+			return a.Predictor < b.Predictor
+		}
+		if a.Counters != b.Counters {
+			return a.Counters < b.Counters
+		}
+		return a.Recovery < b.Recovery
+	})
+	return out
+}

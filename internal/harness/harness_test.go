@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ghist"
+	"repro/internal/pipeline"
+)
+
+func TestNewPredictorAllNames(t *testing.T) {
+	for _, name := range PredictorNames {
+		h := &ghist.History{}
+		p, err := NewPredictor(name, core.FPCCommit, h)
+		if err != nil {
+			t.Errorf("NewPredictor(%q): %v", name, err)
+			continue
+		}
+		if name == "none" {
+			if p != nil {
+				t.Error("none should return a nil predictor")
+			}
+			continue
+		}
+		if p == nil {
+			t.Errorf("NewPredictor(%q) returned nil", name)
+		}
+	}
+	if _, err := NewPredictor("bogus", core.FPCCommit, &ghist.History{}); err == nil {
+		t.Error("bogus predictor name accepted")
+	}
+}
+
+func TestDisplayNames(t *testing.T) {
+	tests := map[string]string{
+		"none": "Baseline", "lvp": "LVP", "stride": "2D-Str",
+		"fcm": "o4-FCM", "vtage": "VTAGE", "oracle": "Oracle",
+		"vtage+stride": "VTAGE-2DStr", "fcm+stride": "o4-FCM-2DStr",
+	}
+	for in, want := range tests {
+		if got := DisplayName(in); got != want {
+			t.Errorf("DisplayName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCountersVectorMatchesRecovery(t *testing.T) {
+	if FPC.Vector(pipeline.SquashAtCommit) != core.FPCCommit {
+		t.Error("FPC+squash should use the 7-bit-equivalent vector")
+	}
+	if FPC.Vector(pipeline.SelectiveReissue) != core.FPCReissue {
+		t.Error("FPC+reissue should use the 6-bit-equivalent vector")
+	}
+	if BaselineCounters.Vector(pipeline.SquashAtCommit) != core.FPCBaseline {
+		t.Error("baseline counters should be deterministic")
+	}
+}
+
+func TestSessionMemoizes(t *testing.T) {
+	se := NewSession(5_000, 20_000)
+	spec := Spec{Kernel: "gzip", Predictor: "none"}
+	r1, err := se.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := se.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical specs were re-simulated (memoization broken)")
+	}
+	if len(se.sortedSpecs()) != 1 {
+		t.Errorf("memo holds %d specs, want 1", len(se.sortedSpecs()))
+	}
+}
+
+func TestSessionUnknownKernel(t *testing.T) {
+	se := NewSession(100, 100)
+	if _, err := se.Run(Spec{Kernel: "bogus", Predictor: "none"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestSpeedupOracleAtLeastOne(t *testing.T) {
+	se := NewSession(5_000, 30_000)
+	for _, k := range []string{"art", "hmmer"} {
+		s, err := se.Speedup(Spec{Kernel: k, Predictor: "oracle"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0.999 {
+			t.Errorf("%s: oracle speedup %.3f < 1", k, s)
+		}
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if got := AMean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("AMean = %v, want 2", got)
+	}
+	if got := AMean(nil); got != 0 {
+		t.Errorf("AMean(nil) = %v, want 0", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Errorf("Max(nil) = %v, want 0", got)
+	}
+}
+
+func TestStaticExperimentsRender(t *testing.T) {
+	se := NewSession(100, 100)
+	for _, id := range []string{"table1", "table2", "table3", "sec3", "sec4"} {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		var sb strings.Builder
+		if err := e.Run(se, &sb); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if len(sb.String()) < 50 {
+			t.Errorf("%s rendered only %d bytes", id, len(sb.String()))
+		}
+	}
+}
+
+func TestExperimentByIDUnknown(t *testing.T) {
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("unknown experiment id found")
+	}
+}
+
+func TestKernelNamesComplete(t *testing.T) {
+	if len(KernelNames()) != 19 {
+		t.Errorf("KernelNames() = %d, want 19", len(KernelNames()))
+	}
+}
+
+// TestFig4ShapeHolds is the headline integration test: with FPC and
+// squash-at-commit, no kernel may lose more than a few percent, and the
+// predictable kernels must gain (the paper's core claim).
+func TestFig4ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	se := NewSession(20_000, 80_000)
+	worst := 1.0
+	worstK := ""
+	for _, k := range KernelNames() {
+		s, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < worst {
+			worst, worstK = s, k
+		}
+	}
+	if worst < 0.93 {
+		t.Errorf("FPC VTAGE slows %s to %.3f; paper's claim is no significant slowdown", worstK, worst)
+	}
+	// art is engineered as the paper's headline winner.
+	if s, _ := se.Speedup(Spec{Kernel: "art", Predictor: "vtage", Counters: FPC}); s < 1.3 {
+		t.Errorf("art VTAGE speedup %.3f, want the paper's large-gain shape (>1.3)", s)
+	}
+}
+
+// TestRecoveryIrrelevantUnderFPC asserts the paper's second headline claim:
+// with FPC, squash-at-commit performs on par with idealized selective
+// reissue.
+func TestRecoveryIrrelevantUnderFPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Kernels with stable value streams, where FPC coverage converges for
+	// both probability vectors. On kernels with periodic value changes
+	// (e.g. parser) the 6-bit-equivalent reissue vector re-saturates sooner
+	// and earns extra coverage — an inherent property of the paper's
+	// vector-per-recovery pairing, documented in EXPERIMENTS.md.
+	se := NewSession(20_000, 80_000)
+	for _, k := range []string{"art", "gamess", "gzip"} {
+		sq, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC, Recovery: pipeline.SquashAtCommit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC, Recovery: pipeline.SelectiveReissue})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := sq/re - 1; diff < -0.10 || diff > 0.10 {
+			t.Errorf("%s: squash %.3f vs reissue %.3f differ by %.1f%%, want ≈ equal under FPC",
+				k, sq, re, 100*diff)
+		}
+	}
+}
+
+// TestAblationExperimentsRun exercises the beyond-the-paper runners with
+// small windows (rendering correctness, not statistical claims).
+func TestAblationExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	se := NewSession(2_000, 10_000)
+	for _, id := range []string{"abl-fpc", "abl-hist", "ext-pred", "profile", "abl-loads", "abl-width"} {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		var sb strings.Builder
+		if err := e.Run(se, &sb); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if len(sb.String()) < 80 {
+			t.Errorf("%s rendered only %d bytes", id, len(sb.String()))
+		}
+	}
+}
+
+// TestPredictLoadsOnlyRestrictsEligibility checks the loads-only switch.
+func TestPredictLoadsOnlyRestrictsEligibility(t *testing.T) {
+	se := NewSession(2_000, 20_000)
+	tr, err := se.trace("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &ghist.History{}
+	pred, err := NewPredictor("lvp", core.FPCBaseline, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.PredictLoadsOnly = true
+	st, err := pipeline.New(cfg, tr, pred, h).Run(2_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := &ghist.History{}
+	pred2, _ := NewPredictor("lvp", core.FPCBaseline, h2)
+	st2, err := pipeline.New(pipeline.DefaultConfig(), tr, pred2, h2).Run(2_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Eligible >= st2.Eligible {
+		t.Errorf("loads-only eligible %d not below all-uops %d", st.Eligible, st2.Eligible)
+	}
+	if st.Eligible == 0 {
+		t.Error("loads-only mode predicted nothing")
+	}
+}

@@ -1,0 +1,353 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Label is a forward-referenceable branch target handed out by the Builder.
+type Label int
+
+// Builder assembles a Program with symbolic labels. Methods panic on misuse
+// (wrong register class, unbound label); kernels are static test-covered
+// inputs, so construction errors are programming errors.
+type Builder struct {
+	name    string
+	insts   []Inst
+	targets []int   // label -> pc, -1 while unbound
+	patches []patch // instructions waiting on a label
+	data    []DataSeg
+	regs    map[Reg]uint64
+}
+
+type patch struct {
+	pc    int
+	label Label
+}
+
+// NewBuilder starts assembling a program called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, regs: make(map[Reg]uint64)}
+}
+
+// PC returns the index the next emitted instruction will have.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// NewLabel allocates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.targets = append(b.targets, -1)
+	return Label(len(b.targets) - 1)
+}
+
+// Bind binds l to the current PC.
+func (b *Builder) Bind(l Label) {
+	if b.targets[l] != -1 {
+		panic(fmt.Sprintf("%s: label %d bound twice", b.name, l))
+	}
+	b.targets[l] = b.PC()
+}
+
+// Here allocates a label already bound to the current PC.
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+// Data seeds memory at addr with words and returns addr for chaining.
+func (b *Builder) Data(addr uint64, words ...uint64) uint64 {
+	b.data = append(b.data, DataSeg{Addr: addr, Words: words})
+	return addr
+}
+
+// DataF seeds memory at addr with float64 values.
+func (b *Builder) DataF(addr uint64, vals ...float64) uint64 {
+	words := make([]uint64, len(vals))
+	for i, v := range vals {
+		words[i] = math.Float64bits(v)
+	}
+	return b.Data(addr, words...)
+}
+
+// InitReg sets the initial value of a register.
+func (b *Builder) InitReg(r Reg, v uint64) { b.regs[r] = v }
+
+func (b *Builder) emit(in Inst) {
+	b.insts = append(b.insts, in)
+}
+
+func wantInt(ctx string, rs ...Reg) {
+	for _, r := range rs {
+		if r != NoReg && r.IsFP() {
+			panic(fmt.Sprintf("%s: expected integer register, got %s", ctx, r))
+		}
+	}
+}
+
+func wantFP(ctx string, rs ...Reg) {
+	for _, r := range rs {
+		if r != NoReg && !r.IsFP() {
+			panic(fmt.Sprintf("%s: expected FP register, got %s", ctx, r))
+		}
+	}
+}
+
+// --- integer ALU ---
+
+func (b *Builder) alu(op Op, d, s1, s2 Reg) {
+	wantInt(op.String(), d, s1, s2)
+	b.emit(Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+}
+
+func (b *Builder) alui(op Op, d, s1 Reg, imm int64) {
+	wantInt(op.String(), d, s1)
+	b.emit(Inst{Op: op, Dst: d, Src1: s1, Src2: NoReg, Imm: imm})
+}
+
+// Add emits d = s1 + s2.
+func (b *Builder) Add(d, s1, s2 Reg) { b.alu(ADD, d, s1, s2) }
+
+// Addi emits d = s1 + imm.
+func (b *Builder) Addi(d, s1 Reg, imm int64) { b.alui(ADD, d, s1, imm) }
+
+// Sub emits d = s1 - s2.
+func (b *Builder) Sub(d, s1, s2 Reg) { b.alu(SUB, d, s1, s2) }
+
+// Subi emits d = s1 - imm.
+func (b *Builder) Subi(d, s1 Reg, imm int64) { b.alui(SUB, d, s1, imm) }
+
+// And emits d = s1 & s2.
+func (b *Builder) And(d, s1, s2 Reg) { b.alu(AND, d, s1, s2) }
+
+// Andi emits d = s1 & imm.
+func (b *Builder) Andi(d, s1 Reg, imm int64) { b.alui(AND, d, s1, imm) }
+
+// Or emits d = s1 | s2.
+func (b *Builder) Or(d, s1, s2 Reg) { b.alu(OR, d, s1, s2) }
+
+// Ori emits d = s1 | imm.
+func (b *Builder) Ori(d, s1 Reg, imm int64) { b.alui(OR, d, s1, imm) }
+
+// Xor emits d = s1 ^ s2.
+func (b *Builder) Xor(d, s1, s2 Reg) { b.alu(XOR, d, s1, s2) }
+
+// Xori emits d = s1 ^ imm.
+func (b *Builder) Xori(d, s1 Reg, imm int64) { b.alui(XOR, d, s1, imm) }
+
+// Shl emits d = s1 << s2.
+func (b *Builder) Shl(d, s1, s2 Reg) { b.alu(SHL, d, s1, s2) }
+
+// Shli emits d = s1 << imm.
+func (b *Builder) Shli(d, s1 Reg, imm int64) { b.alui(SHL, d, s1, imm) }
+
+// Shri emits d = s1 >> imm (logical).
+func (b *Builder) Shri(d, s1 Reg, imm int64) { b.alui(SHR, d, s1, imm) }
+
+// Srai emits d = s1 >> imm (arithmetic).
+func (b *Builder) Srai(d, s1 Reg, imm int64) { b.alui(SRA, d, s1, imm) }
+
+// Cmpeq emits d = (s1 == s2) ? 1 : 0.
+func (b *Builder) Cmpeq(d, s1, s2 Reg) { b.alu(CMPEQ, d, s1, s2) }
+
+// Cmplt emits d = (s1 < s2 signed) ? 1 : 0.
+func (b *Builder) Cmplt(d, s1, s2 Reg) { b.alu(CMPLT, d, s1, s2) }
+
+// Cmplti emits d = (s1 < imm signed) ? 1 : 0.
+func (b *Builder) Cmplti(d, s1 Reg, imm int64) { b.alui(CMPLT, d, s1, imm) }
+
+// Li emits d = imm.
+func (b *Builder) Li(d Reg, imm int64) {
+	wantInt("li", d)
+	b.emit(Inst{Op: MOVI, Dst: d, Src1: NoReg, Src2: NoReg, Imm: imm})
+}
+
+// Mov emits d = s1.
+func (b *Builder) Mov(d, s1 Reg) {
+	wantInt("mov", d, s1)
+	b.emit(Inst{Op: MOV, Dst: d, Src1: s1, Src2: NoReg})
+}
+
+// Mul emits d = s1 * s2.
+func (b *Builder) Mul(d, s1, s2 Reg) { b.alu(MUL, d, s1, s2) }
+
+// Muli emits d = s1 * imm.
+func (b *Builder) Muli(d, s1 Reg, imm int64) { b.alui(MUL, d, s1, imm) }
+
+// Div emits d = s1 / s2 (signed; /0 = 0).
+func (b *Builder) Div(d, s1, s2 Reg) { b.alu(DIV, d, s1, s2) }
+
+// Rem emits d = s1 % s2 (signed; %0 = s1).
+func (b *Builder) Rem(d, s1, s2 Reg) { b.alu(REM, d, s1, s2) }
+
+// Remi emits d = s1 % imm.
+func (b *Builder) Remi(d, s1 Reg, imm int64) { b.alui(REM, d, s1, imm) }
+
+// --- floating point ---
+
+func (b *Builder) fp3(op Op, d, s1, s2 Reg) {
+	wantFP(op.String(), d, s1, s2)
+	b.emit(Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+}
+
+// Fadd emits d = s1 + s2.
+func (b *Builder) Fadd(d, s1, s2 Reg) { b.fp3(FADD, d, s1, s2) }
+
+// Fsub emits d = s1 - s2.
+func (b *Builder) Fsub(d, s1, s2 Reg) { b.fp3(FSUB, d, s1, s2) }
+
+// Fmul emits d = s1 * s2.
+func (b *Builder) Fmul(d, s1, s2 Reg) { b.fp3(FMUL, d, s1, s2) }
+
+// Fdiv emits d = s1 / s2.
+func (b *Builder) Fdiv(d, s1, s2 Reg) { b.fp3(FDIV, d, s1, s2) }
+
+// Fmov emits d = s1.
+func (b *Builder) Fmov(d, s1 Reg) {
+	wantFP("fmov", d, s1)
+	b.emit(Inst{Op: FMOV, Dst: d, Src1: s1, Src2: NoReg})
+}
+
+// Fneg emits d = -s1.
+func (b *Builder) Fneg(d, s1 Reg) {
+	wantFP("fneg", d, s1)
+	b.emit(Inst{Op: FNEG, Dst: d, Src1: s1, Src2: NoReg})
+}
+
+// Fabs emits d = |s1|.
+func (b *Builder) Fabs(d, s1 Reg) {
+	wantFP("fabs", d, s1)
+	b.emit(Inst{Op: FABS, Dst: d, Src1: s1, Src2: NoReg})
+}
+
+// I2f emits fd = float64(rs).
+func (b *Builder) I2f(fd, rs Reg) {
+	wantFP("i2f dst", fd)
+	wantInt("i2f src", rs)
+	b.emit(Inst{Op: I2F, Dst: fd, Src1: rs, Src2: NoReg})
+}
+
+// F2i emits rd = int64(fs).
+func (b *Builder) F2i(rd, fs Reg) {
+	wantInt("f2i dst", rd)
+	wantFP("f2i src", fs)
+	b.emit(Inst{Op: F2I, Dst: rd, Src1: fs, Src2: NoReg})
+}
+
+// Fcmplt emits rd = (fs1 < fs2) ? 1 : 0.
+func (b *Builder) Fcmplt(rd, fs1, fs2 Reg) {
+	wantInt("fcmplt dst", rd)
+	wantFP("fcmplt src", fs1, fs2)
+	b.emit(Inst{Op: FCMPLT, Dst: rd, Src1: fs1, Src2: fs2})
+}
+
+// --- memory ---
+
+// Ld emits d = mem[base+off].
+func (b *Builder) Ld(d, base Reg, off int64) {
+	wantInt("ld", d, base)
+	b.emit(Inst{Op: LD, Dst: d, Src1: base, Src2: NoReg, Imm: off})
+}
+
+// Ldx emits d = mem[base+idx].
+func (b *Builder) Ldx(d, base, idx Reg) {
+	wantInt("ldx", d, base, idx)
+	b.emit(Inst{Op: LDX, Dst: d, Src1: base, Src2: idx})
+}
+
+// St emits mem[base+off] = src.
+func (b *Builder) St(base Reg, off int64, src Reg) {
+	wantInt("st", base, src)
+	b.emit(Inst{Op: ST, Dst: NoReg, Src1: base, Src2: src, Imm: off})
+}
+
+// Fld emits fd = mem[base+off].
+func (b *Builder) Fld(fd, base Reg, off int64) {
+	wantFP("fld dst", fd)
+	wantInt("fld base", base)
+	b.emit(Inst{Op: FLD, Dst: fd, Src1: base, Src2: NoReg, Imm: off})
+}
+
+// Fst emits mem[base+off] = fs.
+func (b *Builder) Fst(base Reg, off int64, fs Reg) {
+	wantInt("fst base", base)
+	wantFP("fst src", fs)
+	b.emit(Inst{Op: FST, Dst: NoReg, Src1: base, Src2: fs, Imm: off})
+}
+
+// --- control flow ---
+
+func (b *Builder) branch(op Op, s1, s2 Reg, l Label) {
+	wantInt(op.String(), s1, s2)
+	b.patches = append(b.patches, patch{pc: b.PC(), label: l})
+	b.emit(Inst{Op: op, Dst: NoReg, Src1: s1, Src2: s2})
+}
+
+// Beq emits if s1 == s2 goto l.
+func (b *Builder) Beq(s1, s2 Reg, l Label) { b.branch(BEQ, s1, s2, l) }
+
+// Bne emits if s1 != s2 goto l.
+func (b *Builder) Bne(s1, s2 Reg, l Label) { b.branch(BNE, s1, s2, l) }
+
+// Blt emits if s1 < s2 goto l.
+func (b *Builder) Blt(s1, s2 Reg, l Label) { b.branch(BLT, s1, s2, l) }
+
+// Bge emits if s1 >= s2 goto l.
+func (b *Builder) Bge(s1, s2 Reg, l Label) { b.branch(BGE, s1, s2, l) }
+
+// Beqz emits if s1 == 0 goto l.
+func (b *Builder) Beqz(s1 Reg, l Label) { b.branch(BEQ, s1, NoReg, l) }
+
+// Bnez emits if s1 != 0 goto l.
+func (b *Builder) Bnez(s1 Reg, l Label) { b.branch(BNE, s1, NoReg, l) }
+
+// Jmp emits goto l.
+func (b *Builder) Jmp(l Label) {
+	b.patches = append(b.patches, patch{pc: b.PC(), label: l})
+	b.emit(Inst{Op: JMP, Dst: NoReg, Src1: NoReg, Src2: NoReg})
+}
+
+// Jr emits goto value(s1) — an indirect jump.
+func (b *Builder) Jr(s1 Reg) {
+	wantInt("jr", s1)
+	b.emit(Inst{Op: JR, Dst: NoReg, Src1: s1, Src2: NoReg})
+}
+
+// Call emits link = retPC; goto l.
+func (b *Builder) Call(link Reg, l Label) {
+	wantInt("call", link)
+	b.patches = append(b.patches, patch{pc: b.PC(), label: l})
+	b.emit(Inst{Op: CALL, Dst: link, Src1: NoReg, Src2: NoReg})
+}
+
+// Ret emits goto value(link).
+func (b *Builder) Ret(link Reg) {
+	wantInt("ret", link)
+	b.emit(Inst{Op: RET, Dst: NoReg, Src1: link, Src2: NoReg})
+}
+
+// Halt emits program termination.
+func (b *Builder) Halt() { b.emit(Inst{Op: HALT}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Inst{Op: NOP}) }
+
+// Program resolves labels and returns the assembled, validated program.
+func (b *Builder) Program() *Program {
+	for _, p := range b.patches {
+		t := b.targets[p.label]
+		if t < 0 {
+			panic(fmt.Sprintf("%s: pc %d references unbound label %d", b.name, p.pc, p.label))
+		}
+		b.insts[p.pc].Imm = int64(t)
+	}
+	p := &Program{
+		Name:     b.name,
+		Insts:    b.insts,
+		Data:     b.data,
+		InitRegs: b.regs,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}

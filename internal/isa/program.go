@@ -1,0 +1,66 @@
+package isa
+
+import "fmt"
+
+// DataSeg seeds a region of data memory before a program runs.
+type DataSeg struct {
+	Addr  uint64   // byte address of the first word (8-byte aligned)
+	Words []uint64 // initial 64-bit word contents
+}
+
+// Program is a static µop sequence plus its initial machine state. PCs are
+// instruction indices starting at Entry.
+type Program struct {
+	Name     string
+	Insts    []Inst
+	Entry    uint32
+	Data     []DataSeg
+	InitRegs map[Reg]uint64
+}
+
+// Validate checks structural well-formedness: branch targets in range,
+// operand register classes consistent with opcodes.
+func (p *Program) Validate() error {
+	n := int64(len(p.Insts))
+	for pc, in := range p.Insts {
+		if IsControl(in.Op) {
+			cls := ClassOf(in.Op)
+			if cls != ClassJumpInd && cls != ClassRet {
+				if in.Imm < 0 || in.Imm >= n {
+					return fmt.Errorf("%s: pc %d: target %d out of range [0,%d)", p.Name, pc, in.Imm, n)
+				}
+			}
+		}
+		for _, r := range [...]Reg{in.Dst, in.Src1, in.Src2} {
+			if r != NoReg && !r.Valid() {
+				return fmt.Errorf("%s: pc %d: invalid register %d", p.Name, pc, uint8(r))
+			}
+		}
+	}
+	if int64(p.Entry) >= n {
+		return fmt.Errorf("%s: entry %d out of range", p.Name, p.Entry)
+	}
+	return nil
+}
+
+// DynInst is one dynamic µop as produced by the functional emulator: the
+// static instruction plus everything the timing model and the value
+// predictors need to know about this execution of it.
+type DynInst struct {
+	Seq    uint64 // dynamic sequence number (0-based)
+	PC     uint32 // static instruction index
+	NextPC uint32 // architecturally correct next PC
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Result uint64 // value written to Dst (valid iff HasDest())
+	Addr   uint64 // effective address for memory µops
+	Taken  bool   // control-flow outcome (valid for control µops)
+}
+
+// HasDest reports whether this dynamic µop produces a value-predictable
+// register result.
+func (d *DynInst) HasDest() bool {
+	return d.Dst != NoReg && !IsControl(d.Op)
+}

@@ -1,0 +1,411 @@
+package kernels
+
+import "repro/internal/isa"
+
+// buildWupwise mimics 168.wupwise: BLAS-like strided FP loops (daxpy/dot)
+// where address arithmetic and loop counters stride perfectly — the
+// computational-predictor-friendly profile the paper reports for wupwise.
+func buildWupwise() *isa.Program {
+	b := isa.NewBuilder("wupwise")
+	const (
+		xs = 0x70_0000
+		ys = 0x72_0000
+		zs = 0x74_0000
+		n  = 8192
+	)
+	xv := make([]float64, n)
+	yv := make([]float64, n)
+	for i := range xv {
+		xv[i] = 1.0 + float64(i%16)/16
+		yv[i] = 2.0 - float64(i%8)/8
+	}
+	b.DataF(xs, xv...)
+	b.DataF(ys, yv...)
+
+	i := isa.R1
+	xb := isa.R2
+	yb := isa.R3
+	zb := isa.R4
+	t := isa.R5
+	alpha := isa.F1
+	x := isa.F2
+	y := isa.F3
+	z := isa.F4
+
+	b.Li(xb, xs)
+	b.Li(yb, ys)
+	b.Li(zb, zs)
+	b.Li(t, 0x70_0000)
+	b.Fld(alpha, t, 0) // alpha = x[0]
+
+	restart := b.Here()
+	b.Li(i, 0)
+	loop := b.Here()
+	b.Shli(t, i, 3)
+	b.Add(t, xb, t)
+	b.Fld(x, t, 0)
+	b.Shli(t, i, 3)
+	b.Add(t, yb, t)
+	b.Fld(y, t, 0)
+	b.Fmul(z, alpha, x)
+	b.Fadd(z, z, y)
+	b.Shli(t, i, 3)
+	b.Add(t, zb, t)
+	b.Fst(t, 0, z)
+	b.Addi(i, i, 1)
+	b.Cmplti(t, i, n)
+	b.Bnez(t, loop)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}
+
+// buildApplu mimics 173.applu: an SSOR-like stencil sweep where the
+// coefficient applied at each point depends on the parity branch — values
+// correlate with recent control flow, favouring VTAGE as the paper reports
+// for applu.
+func buildApplu() *isa.Program {
+	b := isa.NewBuilder("applu")
+	const (
+		grid = 0x80_0000
+		dim  = 64 // 64x64
+	)
+	gv := make([]float64, dim*dim)
+	for i := range gv {
+		gv[i] = float64(i%7) * 0.5
+	}
+	b.DataF(grid, gv...)
+
+	i := isa.R1
+	j := isa.R2
+	gb := isa.R3
+	t := isa.R4
+	par := isa.R5
+	c := isa.F1
+	u := isa.F2
+	l := isa.F3
+	r := isa.F4
+	acc := isa.F5
+
+	b.Li(gb, grid)
+
+	restart := b.Here()
+	b.Li(i, 1)
+	rows := b.Here()
+	b.Li(j, 1)
+	cols := b.Here()
+	// t = (i*dim + j)*8
+	b.Muli(t, i, dim)
+	b.Add(t, t, j)
+	b.Shli(t, t, 3)
+	b.Add(t, gb, t)
+	b.Fld(u, t, 0)
+	b.Fld(l, t, -8)
+	b.Fld(r, t, 8)
+	// coefficient chosen by parity branch: the value stream the paper's
+	// context predictors key on.
+	b.Andi(par, j, 1)
+	odd := b.NewLabel()
+	merge := b.NewLabel()
+	b.Bnez(par, odd)
+	b.Fmov(c, u)
+	b.Jmp(merge)
+	b.Bind(odd)
+	b.Fadd(c, l, r)
+	b.Bind(merge)
+	b.Fadd(acc, u, c)
+	b.Fst(t, 0, acc)
+	b.Addi(j, j, 1)
+	b.Cmplti(par, j, dim-1)
+	b.Bnez(par, cols)
+	b.Addi(i, i, 1)
+	b.Cmplti(par, i, dim-1)
+	b.Bnez(par, rows)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}
+
+// buildArt mimics 179.art: neural-network training scans. The critical path
+// is a normalization recurrence that converges to a fixpoint — its values
+// become constant, so every value predictor can break the serial FP chain
+// (divide + add, the longest-latency units in the machine), which is why art
+// shows the paper's largest speedups. A second, data-dependent accumulation
+// chain remains unpredictable and bounds the speedup.
+func buildArt() *isa.Program {
+	b := isa.NewBuilder("art")
+	const (
+		weights = 0x90_0000
+		n       = 512
+	)
+	wv := make([]float64, n)
+	for i := range wv {
+		wv[i] = 0.25 + float64(i%10)*0.125
+	}
+	b.DataF(weights, wv...)
+
+	j := isa.R1
+	wb := isa.R2
+	t := isa.R3
+	r := isa.F1 // normalization recurrence: r = r/d + c -> constant
+	d := isa.F2
+	c := isa.F3
+	w := isa.F4
+	acc := isa.F5 // unpredictable serial chain: acc = acc*s + w*r
+	sc := isa.F6
+	pr := isa.F7
+
+	b.DataF(0x91_0000, 2.0, 0.125, 0.99921875)
+	b.Li(t, 0x91_0000)
+	b.Fld(d, t, 0)
+	b.Fld(c, t, 8)
+	b.Fld(sc, t, 16)
+	b.Fld(r, t, 0) // r0 = 2.0
+	b.Li(j, 0)
+	b.Li(wb, weights)
+
+	loop := b.Here()
+	// Serial predictable chain: FDIV(10c, unpipelined) + FADD(3c).
+	b.Fdiv(r, r, d)
+	b.Fadd(r, r, c)
+	// Weight scan (period n per PC).
+	b.Shli(t, j, 3)
+	b.Add(t, wb, t)
+	b.Fld(w, t, 0)
+	b.Fmul(pr, w, r)
+	// Serial unpredictable chain: FMUL(5c) + FADD(3c).
+	b.Fmul(acc, acc, sc)
+	b.Fadd(acc, acc, pr)
+	b.Addi(j, j, 1)
+	b.Andi(j, j, n-1)
+	b.Jmp(loop)
+	b.Halt()
+	return b.Program()
+}
+
+// buildGamess mimics 416.gamess: small dense kernels inside a call-heavy
+// driver; per-call-site values repeat, giving context predictors coverage
+// (the paper lists gamess among VTAGE's wins but also in the
+// low-baseline-accuracy set).
+func buildGamess() *isa.Program {
+	b := isa.NewBuilder("gamess")
+	const (
+		mat = 0xA0_0000
+		dim = 8
+	)
+	mv := make([]float64, dim*dim)
+	for i := range mv {
+		mv[i] = 1.0 / float64(1+i%5)
+	}
+	b.DataF(mat, mv...)
+
+	i := isa.R1
+	j := isa.R2
+	mb := isa.R3
+	t := isa.R4
+	which := isa.R5
+	link := isa.R30
+	a := isa.F1
+	s := isa.F2
+
+	dotFn := b.NewLabel()
+
+	b.Li(mb, mat)
+	b.Li(which, 0)
+
+	loop := b.Here()
+	b.Andi(which, which, 7)
+	b.Call(link, dotFn)
+	b.Addi(which, which, 1)
+	b.Jmp(loop)
+	b.Halt()
+
+	// dot(which): sum row `which` of the matrix.
+	b.Bind(dotFn)
+	b.Li(j, 0)
+	b.Muli(i, which, dim)
+	b.Li(t, 0)
+	b.Fsub(s, s, s) // s = 0
+	inner := b.Here()
+	b.Add(t, i, j)
+	b.Shli(t, t, 3)
+	b.Add(t, mb, t)
+	b.Fld(a, t, 0) // row-constant loads: repeat across calls
+	b.Fadd(s, s, a)
+	b.Addi(j, j, 1)
+	b.Cmplti(t, j, dim)
+	b.Bnez(t, inner)
+	b.Ret(link)
+	return b.Program()
+}
+
+// buildMilc mimics 433.milc: su3 matrix-multiply-like unrolled FP chains
+// over strided data — high FP throughput with enough ILP that value
+// prediction barely matters (milc is the paper's one slight slowdown).
+func buildMilc() *isa.Program {
+	b := isa.NewBuilder("milc")
+	const (
+		field = 0xB0_0000
+		n     = 4096
+	)
+	fv := make([]float64, n)
+	for i := range fv {
+		fv[i] = float64(i%13)*0.75 - 3
+	}
+	b.DataF(field, fv...)
+
+	i := isa.R1
+	fb := isa.R2
+	t := isa.R3
+	a0 := isa.F1
+	a1 := isa.F2
+	a2 := isa.F3
+	b0 := isa.F4
+	b1 := isa.F5
+	b2 := isa.F6
+	acc0 := isa.F7
+	acc1 := isa.F8
+	acc2 := isa.F9
+
+	b.Li(fb, field)
+
+	restart := b.Here()
+	b.Li(i, 0)
+	loop := b.Here()
+	b.Shli(t, i, 3)
+	b.Add(t, fb, t)
+	b.Fld(a0, t, 0)
+	b.Fld(a1, t, 8)
+	b.Fld(a2, t, 16)
+	b.Fld(b0, t, 24)
+	b.Fld(b1, t, 32)
+	b.Fld(b2, t, 40)
+	// three independent multiply-add chains (ILP)
+	b.Fmul(a0, a0, b0)
+	b.Fmul(a1, a1, b1)
+	b.Fmul(a2, a2, b2)
+	b.Fadd(acc0, acc0, a0)
+	b.Fadd(acc1, acc1, a1)
+	b.Fadd(acc2, acc2, a2)
+	b.Addi(i, i, 6)
+	b.Cmplti(t, i, n-8)
+	b.Bnez(t, loop)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}
+
+// buildNamd mimics 444.namd: particle-pair force loops — predictable
+// addresses and coordinate loads (quasi-static positions) giving high VP
+// coverage, but the FP arithmetic chain dominates the critical path so the
+// speedup stays marginal, as the paper observes ("namd exhibits 90%
+// coverage but marginal speedup").
+func buildNamd() *isa.Program {
+	b := isa.NewBuilder("namd")
+	const (
+		posX = 0xC0_0000
+		posY = 0xC2_0000
+		n    = 1024
+	)
+	xv := make([]float64, n)
+	yv := make([]float64, n)
+	for i := range xv {
+		xv[i] = float64(i) * 0.5
+		yv[i] = float64(i%32) * 0.25
+	}
+	b.DataF(posX, xv...)
+	b.DataF(posY, yv...)
+
+	i := isa.R1
+	xb := isa.R2
+	yb := isa.R3
+	t := isa.R4
+	x1 := isa.F1
+	y1 := isa.F2
+	x2 := isa.F3
+	y2 := isa.F4
+	dx := isa.F5
+	dy := isa.F6
+	f := isa.F7
+	e := isa.F8
+
+	b.Li(xb, posX)
+	b.Li(yb, posY)
+
+	restart := b.Here()
+	b.Li(i, 0)
+	loop := b.Here()
+	b.Shli(t, i, 3)
+	b.Add(t, xb, t)
+	b.Fld(x1, t, 0)
+	b.Fld(x2, t, 8)
+	b.Shli(t, i, 3)
+	b.Add(t, yb, t)
+	b.Fld(y1, t, 0)
+	b.Fld(y2, t, 8)
+	// serial FP chain: dx² + dy², then a division (long latency)
+	b.Fsub(dx, x2, x1)
+	b.Fsub(dy, y2, y1)
+	b.Fmul(dx, dx, dx)
+	b.Fmul(dy, dy, dy)
+	b.Fadd(f, dx, dy)
+	b.Fadd(f, f, x1) // keep f nonzero
+	b.Fdiv(e, x2, f) // critical-path divide: VP on loads cannot shorten it
+	b.Fadd(e, e, e)
+	b.Addi(i, i, 1)
+	b.Cmplti(t, i, n-2)
+	b.Bnez(t, loop)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}
+
+// buildLbm mimics 470.lbm: lattice-Boltzmann streaming — long unit-stride
+// read-modify-write sweeps over a grid that exceeds the L1, exercising the
+// L2 stride prefetcher and store bandwidth.
+func buildLbm() *isa.Program {
+	b := isa.NewBuilder("lbm")
+	const (
+		src = 0xD00_0000
+		dst = 0xD40_0000
+		n   = 32768 // 256 KB per array: misses in L1, hits L2 after a sweep
+	)
+	fv := make([]float64, 2048) // seed only a prefix; the rest reads as 0.0
+	for i := range fv {
+		fv[i] = float64(i%9) * 0.111
+	}
+	b.DataF(src, fv...)
+
+	i := isa.R1
+	sb := isa.R2
+	db := isa.R3
+	t := isa.R4
+	f0 := isa.F1
+	f1 := isa.F2
+	f2 := isa.F3
+	o := isa.F4
+
+	b.Li(sb, src)
+	b.Li(db, dst)
+
+	restart := b.Here()
+	b.Li(i, 0)
+	loop := b.Here()
+	b.Shli(t, i, 3)
+	b.Add(t, sb, t)
+	b.Fld(f0, t, 0)
+	b.Fld(f1, t, 8)
+	b.Fld(f2, t, 16)
+	b.Fadd(o, f0, f1)
+	b.Fadd(o, o, f2)
+	b.Fmul(o, o, f1)
+	b.Shli(t, i, 3)
+	b.Add(t, db, t)
+	b.Fst(t, 0, o)
+	b.Addi(i, i, 3)
+	b.Cmplti(t, i, n-4)
+	b.Bnez(t, loop)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}

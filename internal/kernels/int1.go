@@ -1,0 +1,366 @@
+package kernels
+
+import "repro/internal/isa"
+
+// buildGzip mimics 164.gzip: an LZ-style match loop — load input words,
+// hash them, probe a hash table, and on a (frequent) mismatch update the
+// table; counters and pointers stride while the table contents churn.
+func buildGzip() *isa.Program {
+	b := isa.NewBuilder("gzip")
+	const (
+		inBuf   = 0x1_0000 // 16K words of input
+		hashTab = 0x9_0000 // 4K-entry hash table
+		inLen   = 16384
+	)
+	seedSmallWords(b, inBuf, inLen, 0x6211, 65536)
+
+	pos := isa.R1  // input position (word index)
+	base := isa.R2 // input base
+	htab := isa.R3 // hash table base
+	word := isa.R4 // current input word
+	hash := isa.R5
+	entry := isa.R6
+	matches := isa.R7
+	misses := isa.R8
+	tmp := isa.R9
+	off := isa.R10
+
+	b.Li(pos, 0)
+	b.Li(base, inBuf)
+	b.Li(htab, hashTab)
+	b.Li(matches, 0)
+	b.Li(misses, 0)
+
+	loop := b.Here()
+	// word = in[pos]; pos = (pos+1) % inLen  — strided address stream.
+	b.Shli(off, pos, 3)
+	b.Ldx(word, base, off)
+	b.Addi(pos, pos, 1)
+	b.Andi(pos, pos, inLen-1)
+	// hash = (word*2654435761) >> 20 & 4095
+	b.Muli(hash, word, 2654435761)
+	b.Shri(hash, hash, 20)
+	b.Andi(hash, hash, 4095)
+	b.Shli(tmp, hash, 3)
+	b.Ldx(entry, htab, tmp)
+	match := b.NewLabel()
+	cont := b.NewLabel()
+	b.Beq(entry, word, match)
+	// miss: install the new word (data-dependent store)
+	b.Add(tmp, htab, tmp)
+	b.St(tmp, 0, word)
+	b.Addi(misses, misses, 1)
+	b.Jmp(cont)
+	b.Bind(match)
+	b.Addi(matches, matches, 1)
+	b.Bind(cont)
+	b.Jmp(loop)
+	b.Halt()
+	return b.Program()
+}
+
+// buildVpr mimics 175.vpr's placement inner loop: RNG-driven swaps of array
+// slots with an RNG-dependent accept branch — poorly predictable branches
+// and values, the low-accuracy regime where the paper's baseline counters
+// lose performance.
+func buildVpr() *isa.Program {
+	b := isa.NewBuilder("vpr")
+	const (
+		grid  = 0x2_0000
+		slots = 4096
+	)
+	seedSmallWords(b, grid, slots, 0x1234, 1000)
+
+	rng := isa.R1
+	base := isa.R2
+	i1 := isa.R3
+	i2 := isa.R4
+	v1 := isa.R5
+	v2 := isa.R6
+	cost := isa.R7
+	t1 := isa.R8
+	t2 := isa.R9
+
+	b.Li(rng, 88172645463325252)
+	b.Li(base, grid)
+	b.Li(cost, 0)
+
+	loop := b.Here()
+	lcg(b, rng)
+	b.Shri(i1, rng, 13)
+	b.Andi(i1, i1, slots-1)
+	lcg(b, rng)
+	b.Shri(i2, rng, 13)
+	b.Andi(i2, i2, slots-1)
+	b.Shli(t1, i1, 3)
+	b.Shli(t2, i2, 3)
+	b.Ldx(v1, base, t1)
+	b.Ldx(v2, base, t2)
+	// delta = v1 - v2; accept if delta < (rng & 255)
+	b.Sub(isa.R10, v1, v2)
+	b.Andi(isa.R11, rng, 255)
+	reject := b.NewLabel()
+	b.Bge(isa.R10, isa.R11, reject)
+	// swap (two stores with data-dependent addresses)
+	b.Add(t1, base, t1)
+	b.Add(t2, base, t2)
+	b.St(t1, 0, v2)
+	b.St(t2, 0, v1)
+	b.Add(cost, cost, isa.R10)
+	b.Bind(reject)
+	b.Jmp(loop)
+	b.Halt()
+	return b.Program()
+}
+
+// buildCrafty mimics 186.crafty: bitboard mixing — shifts, xors and rotates
+// of an evolving position, with table lookups indexed by mixed bits and
+// branches on bit tests. Values are close to pseudo-random: the benchmark
+// the paper lists among the low-baseline-accuracy group.
+func buildCrafty() *isa.Program {
+	b := isa.NewBuilder("crafty")
+	const (
+		attacks = 0x3_0000
+		entries = 8192
+	)
+	seedWords(b, attacks, entries, 0xC4AF7)
+
+	board := isa.R1
+	occ := isa.R2
+	tab := isa.R3
+	idx := isa.R4
+	att := isa.R5
+	score := isa.R6
+	t := isa.R7
+
+	b.Li(board, 0x1234567890ABCDEF)
+	b.Li(occ, 0x0F0F00FF00F0F0F0)
+	b.Li(tab, attacks)
+	b.Li(score, 0)
+
+	loop := b.Here()
+	// Mix the board (values never repeat usefully).
+	b.Shli(t, board, 13)
+	b.Xor(board, board, t)
+	b.Shri(t, board, 7)
+	b.Xor(board, board, t)
+	b.Shli(t, board, 17)
+	b.Xor(board, board, t)
+	b.And(idx, board, occ)
+	b.Andi(idx, idx, entries-1)
+	b.Shli(t, idx, 3)
+	b.Ldx(att, tab, t)
+	b.Xor(occ, occ, att)
+	// branch on a data-dependent bit (hard to predict)
+	b.Andi(t, att, 1)
+	skip := b.NewLabel()
+	b.Beqz(t, skip)
+	b.Addi(score, score, 3)
+	b.Xori(occ, occ, 0x5A5A)
+	b.Bind(skip)
+	b.Addi(score, score, 1)
+	b.Jmp(loop)
+	b.Halt()
+	return b.Program()
+}
+
+// buildParser mimics 197.parser: dictionary linked-list walks. The list
+// structure is static, so node addresses and link pointers are last-value
+// predictable; walk lengths vary with the query, driving branches.
+func buildParser() *isa.Program {
+	b := isa.NewBuilder("parser")
+	const (
+		nodes   = 0x4_0000 // node i at nodes + i*16: [word, nextIndex]
+		nNodes  = 1024
+		queries = 0x6_0000
+		nQuery  = 64
+	)
+	// Chain: node i -> i+1, words ascending multiples of 17.
+	words := make([]uint64, nNodes*2)
+	for i := 0; i < nNodes; i++ {
+		words[i*2] = uint64(i * 17)
+		words[i*2+1] = uint64(i+1) % nNodes
+	}
+	b.Data(nodes, words...)
+	// Targets stay below the last dictionary word so every walk terminates.
+	seedSmallWords(b, queries, nQuery, 0x9E37, (nNodes-1)*17)
+
+	qi := isa.R1
+	qbase := isa.R2
+	nbase := isa.R3
+	target := isa.R4
+	node := isa.R5
+	w := isa.R6
+	t := isa.R7
+	found := isa.R8
+
+	b.Li(qi, 0)
+	b.Li(qbase, queries)
+	b.Li(nbase, nodes)
+	b.Li(found, 0)
+
+	outer := b.Here()
+	b.Shli(t, qi, 3)
+	b.Ldx(target, qbase, t)
+	b.Addi(qi, qi, 1)
+	b.Andi(qi, qi, nQuery-1)
+	b.Li(node, 0)
+
+	walk := b.Here()
+	b.Shli(t, node, 4) // node*16
+	b.Ldx(w, nbase, t)
+	hit := b.NewLabel()
+	b.Bge(w, target, hit) // words ascend: stop at first >= target
+	b.Add(t, nbase, t)
+	b.Ld(node, t, 8) // follow next pointer (constant per node)
+	b.Jmp(walk)
+	b.Bind(hit)
+	b.Addi(found, found, 1)
+	b.Jmp(outer)
+	b.Halt()
+	return b.Program()
+}
+
+// buildVortex mimics 255.vortex: an object store where each record carries a
+// type tag selecting a handler through an indirect jump; handlers read and
+// update mostly-constant fields.
+func buildVortex() *isa.Program {
+	b := isa.NewBuilder("vortex")
+	const (
+		objs  = 0x7_0000 // object i at objs + i*32: [type, f1, f2, f3]
+		nObjs = 2048
+		jtab  = 0xA_0000 // jump table, 4 handlers
+	)
+	words := make([]uint64, nObjs*4)
+	x := uint64(0xBEEF)
+	for i := 0; i < nObjs; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		words[i*4] = x % 4       // type
+		words[i*4+1] = uint64(i) // f1
+		words[i*4+2] = 7         // f2: constant
+		words[i*4+3] = x % 100   // f3
+	}
+	b.Data(objs, words...)
+
+	i := isa.R1
+	obase := isa.R2
+	jbase := isa.R3
+	typ := isa.R4
+	optr := isa.R5
+	f := isa.R6
+	acc := isa.R7
+	t := isa.R8
+
+	b.Li(i, 0)
+	b.Li(obase, objs)
+	b.Li(jbase, jtab)
+	b.Li(acc, 0)
+
+	loop := b.Here()
+	b.Shli(t, i, 5)
+	b.Add(optr, obase, t)
+	b.Ld(typ, optr, 0)
+	b.Addi(i, i, 1)
+	b.Andi(i, i, nObjs-1)
+	// indirect dispatch: target = jumptable[type]
+	b.Shli(t, typ, 3)
+	b.Ldx(t, jbase, t)
+	b.Jr(t)
+
+	// handlers (filled into the jump table below)
+	h0 := b.PC()
+	b.Ld(f, optr, 8)
+	b.Add(acc, acc, f)
+	back0 := b.NewLabel()
+	b.Jmp(back0)
+	h1 := b.PC()
+	b.Ld(f, optr, 16) // constant field: very predictable
+	b.Add(acc, acc, f)
+	b.Jmp(back0)
+	h2 := b.PC()
+	b.Ld(f, optr, 24)
+	b.Sub(acc, acc, f)
+	b.Jmp(back0)
+	h3 := b.PC()
+	b.Addi(acc, acc, 1)
+	b.St(optr, 24, acc)
+	b.Jmp(back0)
+
+	b.Bind(back0)
+	b.Jmp(loop)
+	b.Halt()
+
+	b.Data(jtab, uint64(h0), uint64(h1), uint64(h2), uint64(h3))
+	return b.Program()
+}
+
+// buildBzip2 mimics 401.bzip2: byte-frequency counting then a prefix-sum
+// pass whose running total is a near-affine sequence — the serial
+// memory-carried dependence the 2D-Stride predictor breaks (the paper shows
+// bzip among the stride winners).
+func buildBzip2() *isa.Program {
+	b := isa.NewBuilder("bzip2")
+	const (
+		input = 0xB_0000
+		freq  = 0xD_0000
+		cum   = 0xE_0000
+		inLen = 8192
+		nSym  = 256
+	)
+	// Text-like skewed symbol distribution: counts diverge quickly, so the
+	// frequency-table loads are not accidentally last-value predictable, and
+	// the hot symbols give the prefix-sum pass its strided behaviour.
+	syms := make([]uint64, inLen)
+	x := uint64(0xB219)
+	for i := range syms {
+		x = x*6364136223846793005 + 1442695040888963407
+		s1 := (x >> 16) % nSym
+		syms[i] = (s1 * s1) / nSym // quadratic skew toward small symbols
+	}
+	b.Data(input, syms...)
+
+	i := isa.R1
+	ibase := isa.R2
+	fbase := isa.R3
+	cbase := isa.R4
+	sym := isa.R5
+	cnt := isa.R6
+	acc := isa.R7
+	t := isa.R8
+	n := isa.R9
+
+	b.Li(ibase, input)
+	b.Li(fbase, freq)
+	b.Li(cbase, cum)
+
+	restart := b.Here()
+	// Pass 1: count a block of symbols.
+	b.Li(i, 0)
+	b.Li(n, inLen)
+	count := b.Here()
+	b.Shli(t, i, 3)
+	b.Ldx(sym, ibase, t)
+	b.Shli(sym, sym, 3)
+	b.Add(sym, fbase, sym)
+	b.Ld(cnt, sym, 0)
+	b.Addi(cnt, cnt, 1)
+	b.St(sym, 0, cnt)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, count)
+
+	// Pass 2: prefix sums over the 256 counters (acc strides smoothly).
+	b.Li(i, 0)
+	b.Li(n, nSym)
+	b.Li(acc, 0)
+	scan := b.Here()
+	b.Shli(t, i, 3)
+	b.Ldx(cnt, fbase, t)
+	b.Add(acc, acc, cnt)
+	b.Add(t, cbase, t)
+	b.St(t, 0, acc)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, scan)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}

@@ -1,0 +1,385 @@
+package kernels
+
+import "repro/internal/isa"
+
+// buildGcc mimics 403.gcc: a token-driven state machine — a switch over
+// token kinds from a long repeating stream, where each case updates state
+// differently. The values produced correlate with the control-flow path,
+// the pattern VTAGE captures and per-PC predictors cannot (the paper shows
+// gcc among VTAGE's wins).
+func buildGcc() *isa.Program {
+	b := isa.NewBuilder("gcc")
+	const (
+		tokens = 0x10_0000
+		nTok   = 4096
+		jtab   = 0x12_0000
+	)
+	// Token stream: a structured repeating pattern with some irregularity.
+	words := make([]uint64, nTok)
+	x := uint64(0x6CC)
+	for i := range words {
+		switch {
+		case i%7 == 0:
+			words[i] = 0 // "identifier"
+		case i%5 == 0:
+			words[i] = 1 // "operator"
+		case i%11 == 0:
+			words[i] = 3 // "keyword"
+		default:
+			x = x*6364136223846793005 + 1442695040888963407
+			words[i] = x % 4
+		}
+	}
+	b.Data(tokens, words...)
+
+	i := isa.R1
+	tbase := isa.R2
+	jbase := isa.R3
+	tok := isa.R4
+	state := isa.R5
+	nodes := isa.R6
+	t := isa.R7
+
+	b.Li(i, 0)
+	b.Li(tbase, tokens)
+	b.Li(jbase, jtab)
+	b.Li(state, 0)
+	b.Li(nodes, 0)
+
+	loop := b.Here()
+	b.Shli(t, i, 3)
+	b.Ldx(tok, tbase, t)
+	b.Addi(i, i, 1)
+	b.Andi(i, i, nTok-1)
+	b.Shli(t, tok, 3)
+	b.Ldx(t, jbase, t)
+	b.Jr(t)
+
+	back := b.NewLabel()
+	c0 := b.PC() // identifier: state = 100 + small counter
+	b.Andi(state, nodes, 7)
+	b.Addi(state, state, 100)
+	b.Addi(nodes, nodes, 1)
+	b.Jmp(back)
+	c1 := b.PC() // operator: state depends on path
+	b.Li(state, 200)
+	b.Addi(nodes, nodes, 2)
+	b.Jmp(back)
+	c2 := b.PC() // literal
+	b.Li(state, 300)
+	b.Jmp(back)
+	c3 := b.PC() // keyword: reset
+	b.Li(state, 0)
+	b.Addi(nodes, nodes, 1)
+	b.Jmp(back)
+
+	b.Bind(back)
+	// Consume state so it is a live VP-eligible chain.
+	b.Add(nodes, nodes, state)
+	b.Jmp(loop)
+	b.Halt()
+
+	b.Data(jtab, uint64(c0), uint64(c1), uint64(c2), uint64(c3))
+	return b.Program()
+}
+
+// buildMcf mimics 429.mcf: network-simplex pointer chasing. The arc-chain
+// walk is a serial load-to-address dependence through a working set larger
+// than the L1 (mostly L2 hits plus cold DRAM misses), and the chase sequence
+// is far too long for any realistic predictor to capture — so real
+// predictors gain almost nothing (the paper's mcf rows are flat) while the
+// oracle exposes the large memory-level-parallelism headroom (Fig. 3).
+func buildMcf() *isa.Program {
+	b := isa.NewBuilder("mcf")
+	const (
+		chase  = 0x200_0000 // 32K-entry pointer cycle = 256 KB (8x the L1)
+		nChase = 32768
+	)
+	seedCycle(b, chase, nChase, 12289) // co-prime stride: one long cycle
+
+	idx := isa.R1
+	cbase := isa.R2
+	acc := isa.R3
+	t := isa.R4
+	f1 := isa.R5
+	f2 := isa.R6
+	f3 := isa.R7
+	f4 := isa.R8
+	f5 := isa.R9
+
+	b.Li(idx, 0)
+	b.Li(cbase, chase)
+	b.Li(acc, 0)
+	b.Li(f1, 3)
+	b.Li(f2, 5)
+	b.Li(f3, 7)
+	b.Li(f4, 11)
+	b.Li(f5, 13)
+
+	loop := b.Here()
+	// Serial chase: idx = chase[idx] (load feeds the next address).
+	b.Shli(t, idx, 3)
+	b.Ldx(idx, cbase, t)
+	// Independent arc-cost bookkeeping: enough parallel ALU work that the
+	// baseline is not completely latency-bound (mcf still computes).
+	for i := 0; i < 6; i++ {
+		b.Add(f1, f1, f2)
+		b.Xor(f2, f2, f3)
+		b.Add(f3, f3, f4)
+		b.Xor(f4, f4, f5)
+		b.Addi(f5, f5, 1)
+		b.Add(acc, acc, f1)
+	}
+	b.Jmp(loop)
+	b.Halt()
+	return b.Program()
+}
+
+// buildGobmk mimics 445.gobmk: scanning a board with pattern tests —
+// nested loops with data-dependent branches over a slowly mutating board.
+// Predictability is low, another member of the paper's low-baseline-accuracy
+// group.
+func buildGobmk() *isa.Program {
+	b := isa.NewBuilder("gobmk")
+	const (
+		board = 0x30_0000
+		size  = 169 // 13x13
+	)
+	seedSmallWords(b, board, size+16, 0x60B, 3) // 0 empty, 1 black, 2 white
+
+	i := isa.R1
+	bbase := isa.R2
+	cell := isa.R3
+	right := isa.R4
+	down := isa.R5
+	score := isa.R6
+	rng := isa.R7
+	t := isa.R8
+
+	b.Li(bbase, board)
+	b.Li(score, 0)
+	b.Li(rng, 0x1337)
+
+	restart := b.Here()
+	b.Li(i, 0)
+	scan := b.Here()
+	b.Shli(t, i, 3)
+	b.Ldx(cell, bbase, t)
+	b.Add(t, bbase, t)
+	b.Ld(right, t, 8)
+	b.Ld(down, t, 13*8)
+	// pattern: same-colour neighbours score
+	next := b.NewLabel()
+	b.Bne(cell, right, next)
+	b.Addi(score, score, 5)
+	b.Bind(next)
+	next2 := b.NewLabel()
+	b.Bne(cell, down, next2)
+	b.Addi(score, score, 3)
+	b.Bind(next2)
+	b.Addi(i, i, 1)
+	b.Cmplti(t, i, size-14)
+	b.Bnez(t, scan)
+	// Mutate one cell pseudo-randomly, then rescan.
+	lcg(b, rng)
+	b.Shri(t, rng, 20)
+	b.Remi(t, t, size-14)
+	b.Shli(t, t, 3)
+	b.Add(t, bbase, t)
+	b.Andi(cell, rng, 3)
+	b.St(t, 0, cell)
+	b.Jmp(restart)
+	b.Halt()
+	return b.Program()
+}
+
+// buildHmmer mimics 456.hmmer: the Viterbi dynamic-programming inner loop —
+// running maxima and additions carried serially through memory rows.
+// Partial monotonicity gives stride and context predictors some coverage.
+func buildHmmer() *isa.Program {
+	b := isa.NewBuilder("hmmer")
+	const (
+		match = 0x40_0000
+		ins   = 0x42_0000
+		emit  = 0x44_0000
+		cols  = 512
+	)
+	seedSmallWords(b, emit, cols, 0x4A3E, 16)
+
+	j := isa.R1
+	mbase := isa.R2
+	ibase := isa.R3
+	ebase := isa.R4
+	mprev := isa.R5
+	iprev := isa.R6
+	e := isa.R7
+	best := isa.R8
+	t := isa.R9
+	cand := isa.R10
+
+	b.Li(mbase, match)
+	b.Li(ibase, ins)
+	b.Li(ebase, emit)
+
+	row := b.Here()
+	b.Li(j, 1)
+	b.Li(mprev, 0)
+	b.Li(iprev, 0)
+	col := b.Here()
+	b.Shli(t, j, 3)
+	b.Ldx(e, ebase, t)
+	// best = max(mprev + e, iprev + 3)
+	b.Add(best, mprev, e)
+	b.Addi(cand, iprev, 3)
+	noswap := b.NewLabel()
+	b.Bge(best, cand, noswap)
+	b.Mov(best, cand)
+	b.Bind(noswap)
+	// store M[j], carry serial deps
+	b.Add(t, mbase, t)
+	b.Ld(mprev, t, 0) // previous row's value (memory-carried)
+	b.St(t, 0, best)
+	b.Shli(t, j, 3)
+	b.Add(t, ibase, t)
+	b.St(t, 0, cand)
+	b.Mov(iprev, cand)
+	b.Addi(j, j, 1)
+	b.Cmplti(t, j, cols)
+	b.Bnez(t, col)
+	b.Jmp(row)
+	b.Halt()
+	return b.Program()
+}
+
+// buildSjeng mimics 458.sjeng: game-tree search — a recursive walk with
+// hash probes and evaluation mixing, exercising the call/return stack with
+// low value predictability.
+func buildSjeng() *isa.Program {
+	b := isa.NewBuilder("sjeng")
+	const (
+		ttab  = 0x50_0000 // transposition table
+		nTT   = 8192
+		stack = 0x58_0000
+	)
+	seedWords(b, ttab, nTT, 0x57E)
+
+	depth := isa.R1
+	pos := isa.R2
+	tbase := isa.R3
+	sp := isa.R4
+	h := isa.R5
+	entry := isa.R6
+	score := isa.R7
+	t := isa.R8
+	link := isa.R30
+
+	searchFn := b.NewLabel()
+
+	b.Li(pos, 0xABCDEF12345)
+	b.Li(tbase, ttab)
+	b.Li(sp, stack+4096)
+	b.Li(score, 0)
+
+	loop := b.Here()
+	b.Li(depth, 4)
+	b.Call(link, searchFn)
+	// Perturb the root position.
+	b.Shli(t, pos, 7)
+	b.Xor(pos, pos, t)
+	b.Shri(t, pos, 9)
+	b.Xor(pos, pos, t)
+	b.Jmp(loop)
+	b.Halt()
+
+	// search(depth): probe ttab, mix, recurse twice until depth 0.
+	b.Bind(searchFn)
+	ret := b.NewLabel()
+	b.Beqz(depth, ret)
+	// probe
+	b.Muli(h, pos, -7046029254386353131) // 0x9E3779B97F4A7C15 as int64
+	b.Shri(h, h, 45)
+	b.Andi(h, h, nTT-1)
+	b.Shli(h, h, 3)
+	b.Ldx(entry, tbase, h)
+	b.Add(score, score, entry)
+	// push link & depth, recurse on child 1
+	b.St(sp, 0, link)
+	b.St(sp, 8, depth)
+	b.Addi(sp, sp, 16)
+	b.Subi(depth, depth, 1)
+	b.Shli(t, pos, 3)
+	b.Xor(pos, pos, t)
+	b.Call(link, searchFn)
+	// recurse on child 2
+	b.Shri(t, pos, 5)
+	b.Xor(pos, pos, t)
+	b.Call(link, searchFn)
+	// pop
+	b.Subi(sp, sp, 16)
+	b.Ld(depth, sp, 8)
+	b.Ld(link, sp, 0)
+	b.Bind(ret)
+	b.Ret(link)
+	return b.Program()
+}
+
+// buildH264 mimics 464.h264ref: sum-of-absolute-differences over small
+// blocks — a very tight inner loop that fetches successive occurrences of
+// the same µops back to back (the Section 3.2 motivation), with a reference
+// block that is constant across candidate comparisons.
+func buildH264() *isa.Program {
+	b := isa.NewBuilder("h264ref")
+	const (
+		refBlk = 0x60_0000
+		frame  = 0x62_0000
+		blkLen = 16
+		nCand  = 1024
+	)
+	seedSmallWords(b, refBlk, blkLen, 0x264, 256)
+	seedSmallWords(b, frame, nCand+blkLen, 0xF4A, 256)
+
+	cand := isa.R1
+	i := isa.R2
+	rbase := isa.R3
+	fbase := isa.R4
+	rv := isa.R5
+	fv := isa.R6
+	d := isa.R7
+	sad := isa.R8
+	bestSAD := isa.R9
+	t := isa.R10
+
+	b.Li(cand, 0)
+	b.Li(rbase, refBlk)
+	b.Li(fbase, frame)
+	b.Li(bestSAD, 1<<40)
+
+	outer := b.Here()
+	b.Li(i, 0)
+	b.Li(sad, 0)
+	inner := b.Here() // 9 µops: same PCs re-fetched nearly back-to-back
+	b.Shli(t, i, 3)
+	b.Ldx(rv, rbase, t) // constant across candidates: highly predictable
+	b.Add(t, t, fbase)
+	b.Add(t, t, cand)
+	b.Ld(fv, t, 0)
+	b.Sub(d, rv, fv)
+	neg := b.NewLabel()
+	b.Bge(d, isa.R0, neg)
+	b.Sub(d, isa.R0, d)
+	b.Bind(neg)
+	b.Add(sad, sad, d)
+	b.Addi(i, i, 1)
+	b.Cmplti(t, i, blkLen)
+	b.Bnez(t, inner)
+	// track best
+	keep := b.NewLabel()
+	b.Bge(sad, bestSAD, keep)
+	b.Mov(bestSAD, sad)
+	b.Bind(keep)
+	b.Addi(cand, cand, 8)
+	b.Andi(cand, cand, (nCand-1)*8)
+	b.Jmp(outer)
+	b.Halt()
+	return b.Program()
+}

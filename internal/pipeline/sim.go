@@ -1,0 +1,1001 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/emu"
+	"repro/internal/ghist"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/memdep"
+	"repro/internal/regfile"
+)
+
+// noSlot marks an absent ROB dependency.
+const noSlot = -1
+
+// robEntry is one in-flight µop.
+type robEntry struct {
+	ti  int    // trace index
+	seq uint64 // trace sequence number (identity across slot reuse)
+
+	fetchCyc int64
+	dispCyc  int64
+	issueCyc int64
+	doneCyc  int64
+
+	dispatched bool
+	issued     bool
+	done       bool
+	wbDone     bool // writeback-side effects already processed
+	inIQ       bool
+
+	// Dependencies: ROB slots of the producing µops (noSlot if the operand
+	// was architecturally ready at dispatch), guarded by seq for slot reuse.
+	dep1, dep2       int
+	dep1Seq, dep2Seq uint64
+
+	// Value prediction.
+	vpTried   bool // the predictor was consulted for this µop at fetch
+	conf      bool // confident prediction written to the PRF at dispatch
+	predWrong bool
+	predUsed  bool // a dependent issued consuming the predicted value
+	meta      core.Meta
+
+	// Branch prediction.
+	isCond    bool
+	brMispred bool
+	bmeta     bpred.TageMeta
+	btbBubble bool
+
+	// History/RAS checkpoints (state before this µop at fetch).
+	histPos uint64
+	rasTop  int
+
+	hasDest     bool
+	destFP      bool
+	isLoad      bool
+	isStore     bool
+	fwdStore    bool // load satisfied by store-to-load forwarding
+	usedSpecSrc bool // issued consuming a not-yet-validated predicted value
+
+	// Store-set dependence: the load must wait for this store.
+	depStoreSeq uint64
+	hasDepStore bool
+}
+
+// feEntry is a fetched µop waiting in the in-order front-end.
+type feEntry struct {
+	ti        int
+	readyCyc  int64
+	vpTried   bool
+	conf      bool
+	predWrong bool
+	meta      core.Meta
+	isCond    bool
+	brMispred bool
+	bmeta     bpred.TageMeta
+	histPos   uint64
+	rasTop    int
+}
+
+// Sim is one simulation instance: a machine configuration bound to a trace
+// and a value predictor. Zero value is not usable; construct with New.
+type Sim struct {
+	cfg   Config
+	trace []isa.DynInst
+	pred  core.Predictor // nil = baseline machine without value prediction
+
+	hist  *ghist.History
+	tage  *bpred.Tage
+	btb   *bpred.BTB
+	ras   *bpred.RAS
+	l1i   *mem.Cache
+	l1d   *mem.Cache
+	l2    *mem.Cache
+	mm    *dram.Memory
+	ssets *memdep.StoreSets
+	regs  *regfile.Files
+
+	cycle int64
+
+	rob    []robEntry
+	head   int
+	tail   int
+	count  int
+	iqUsed int
+	lqUsed int
+	sqUsed int
+
+	feq []feEntry
+
+	fetchIdx     int
+	nextFetchCyc int64
+	fetchBlocked bool // waiting for a mispredicted branch to resolve
+	lastFetchCyc map[uint32]int64
+
+	lastProd [isa.NumRegs]int // arch reg -> producing ROB slot (or noSlot)
+
+	// Unpipelined divider pools.
+	divFree   []int64
+	fpDivFree []int64
+
+	warmupUops uint64
+	warmed     bool
+
+	stats Stats
+}
+
+// New builds a simulator for trace under cfg using pred for value prediction
+// (nil disables VP: the baseline machine).
+func New(cfg Config, trace []isa.DynInst, pred core.Predictor, hist *ghist.History) *Sim {
+	if hist == nil {
+		hist = &ghist.History{}
+	}
+	mm := dram.New(cfg.DRAM)
+	l2 := mem.NewCache(cfg.L2, nil, mm)
+	pf := mem.NewStridePrefetcher(8, 8, l2)
+	l2.AttachPrefetcher(pf)
+	s := &Sim{
+		cfg:          cfg,
+		trace:        trace,
+		pred:         pred,
+		hist:         hist,
+		tage:         bpred.NewTage(bpred.DefaultTageConfig(), hist),
+		btb:          bpred.NewBTB(12),
+		ras:          &bpred.RAS{},
+		l1i:          mem.NewCache(cfg.L1I, l2, nil),
+		l1d:          mem.NewCache(cfg.L1D, l2, nil),
+		l2:           l2,
+		mm:           mm,
+		ssets:        memdep.New(cfg.LogSSIT),
+		regs:         regfile.NewFiles(cfg.IntRegs, cfg.FPRegs),
+		rob:          make([]robEntry, cfg.ROB),
+		lastFetchCyc: make(map[uint32]int64),
+		divFree:      make([]int64, cfg.MulDivs),
+		fpDivFree:    make([]int64, cfg.FPMulDivs),
+	}
+	for i := range s.lastProd {
+		s.lastProd[i] = noSlot
+	}
+	return s
+}
+
+// NewForKernel is a convenience constructor: trace the named kernel for
+// nUops and build a simulator over it.
+func NewForKernel(cfg Config, kernel string, nUops int, pred core.Predictor, hist *ghist.History) (*Sim, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown kernel %q", kernel)
+	}
+	return New(cfg, emu.Trace(k.Build(), nUops), pred, hist), nil
+}
+
+func (s *Sim) di(ti int) *isa.DynInst { return &s.trace[ti] }
+
+func (s *Sim) entry(slot int) *robEntry { return &s.rob[slot] }
+
+func (s *Sim) next(slot int) int { return (slot + 1) % len(s.rob) }
+
+// slotAge converts a slot to its age order position (0 = oldest).
+func (s *Sim) slotAge(slot int) int {
+	return (slot - s.head + len(s.rob)) % len(s.rob)
+}
+
+// Run simulates warmup+measure committed µops (capped by the trace length)
+// and returns the statistics. It errors on a deadlocked machine — a model
+// bug, not a workload property.
+func (s *Sim) Run(warmup, measure uint64) (*Stats, error) {
+	s.warmupUops = warmup
+	if warmup == 0 {
+		s.warmed = true
+	}
+	total := warmup + measure
+	if t := uint64(len(s.trace)); total > t {
+		total = t
+	}
+	var lastCommitted uint64
+	stuck := int64(0)
+	for s.stats.Committed < total {
+		s.step()
+		if s.stats.Committed == lastCommitted {
+			stuck++
+			if stuck > 1_000_000 {
+				return nil, errors.New("pipeline: no commit progress for 1M cycles (model deadlock)")
+			}
+		} else {
+			stuck = 0
+			lastCommitted = s.stats.Committed
+		}
+	}
+	s.stats.Cycles = s.cycle
+	return &s.stats, nil
+}
+
+// step advances the machine one cycle, processing stages in reverse pipeline
+// order so same-cycle feed-through cannot happen.
+func (s *Sim) step() {
+	s.commit()
+	s.writeback()
+	s.issue()
+	s.dispatch()
+	s.fetch()
+	if s.cfg.Recovery == SelectiveReissue {
+		s.releaseValidatedIQ()
+	}
+	s.cycle++
+}
+
+// ---------------------------------------------------------------- commit --
+
+// commitLatency is the writeback+commit stage depth beyond execution: with
+// the 2-cycle dispatch-to-issue gap it forms the paper's 4-cycle back-end.
+const commitLatency = 2
+
+func (s *Sim) commit() {
+	for n := 0; n < s.cfg.RetireWidth && s.count > 0; n++ {
+		e := s.entry(s.head)
+		if !e.done || e.doneCyc+commitLatency > s.cycle {
+			return
+		}
+		di := s.di(e.ti)
+
+		if e.isStore {
+			// Stores write the cache from the post-commit store buffer; the
+			// access is charged for bandwidth/MSHR stats but never blocks.
+			s.l1d.Access(s.cycle, di.Addr, uint64(di.PC), true, true)
+			s.ssets.StoreRetired(uint64(di.PC), e.seq)
+		}
+
+		// Train predictors with the architectural outcome, in commit order.
+		if e.isCond {
+			s.tage.Train(uint64(di.PC), di.Taken, &e.bmeta)
+			if s.warmed {
+				s.stats.CondBranches++
+				if e.brMispred {
+					s.stats.CondMispredicts++
+				}
+			}
+		}
+		valueSquash := false
+		if s.pred != nil && e.vpTried {
+			s.pred.Train(uint64(di.PC), di.Result, &e.meta)
+			if s.warmed {
+				s.stats.Eligible++
+				if e.conf {
+					s.stats.Used++
+					if e.predWrong {
+						s.stats.UsedWrong++
+					} else {
+						s.stats.UsedCorrect++
+					}
+				}
+			}
+			if e.conf && e.predWrong {
+				if e.predUsed && s.cfg.Recovery == SquashAtCommit {
+					valueSquash = true
+				} else if !e.predUsed && s.warmed {
+					s.stats.WrongUnused++
+				}
+			}
+		}
+
+		if e.hasDest {
+			s.regs.For(s.di(e.ti).Dst).Release()
+		}
+		if e.isLoad {
+			s.lqUsed--
+		}
+		if e.isStore {
+			s.sqUsed--
+		}
+		// The committed entry can no longer forward through the ROB.
+		if e.hasDest && s.lastProd[di.Dst] == s.head {
+			s.lastProd[di.Dst] = noSlot
+		}
+		s.head = s.next(s.head)
+		s.count--
+		s.stats.Committed++
+
+		if !s.warmed && s.stats.Committed >= s.warmupUops {
+			s.warmed = true
+			s.stats.WarmCycles = s.cycle
+			s.stats.WarmCommitted = s.stats.Committed
+		}
+
+		if valueSquash {
+			// Pipeline squashing at commit: every younger µop is flushed and
+			// fetch restarts after the mispredicted µop (Section 3.1.1).
+			if s.warmed {
+				s.stats.SquashValue++
+			}
+			s.squashFromAge(0, e.ti+1, s.cycle+1)
+			return
+		}
+	}
+}
+
+// ------------------------------------------------------------- writeback --
+
+// writeback processes µops whose execution completed this cycle: branch
+// redirects, store-set violation checks, and value-misprediction detection.
+func (s *Sim) writeback() {
+	for slot, n := s.head, 0; n < s.count; slot, n = s.next(slot), n+1 {
+		e := s.entry(slot)
+		if !e.done || e.wbDone || e.doneCyc > s.cycle {
+			continue
+		}
+		e.wbDone = true
+		di := s.di(e.ti)
+
+		// Branch resolution: redirect the stalled front-end.
+		if e.brMispred {
+			if s.warmed {
+				s.stats.SquashBranch++
+			}
+			s.squashFromAge(s.slotAge(slot)+1, e.ti+1, e.doneCyc+1)
+			s.fetchBlocked = false
+			return // younger state just vanished; rescan next cycle
+		}
+
+		// Memory-order violation: a store whose address resolves after a
+		// younger overlapping load already executed.
+		if e.isStore {
+			if v := s.findViolatingLoad(slot, e); v != noSlot {
+				ve := s.entry(v)
+				if s.warmed {
+					s.stats.SquashMemOrder++
+				}
+				s.ssets.Violation(uint64(s.di(ve.ti).PC), uint64(di.PC))
+				s.squashFromAge(s.slotAge(v), ve.ti, e.doneCyc+1)
+				s.fetchBlocked = false
+				return
+			}
+		}
+
+		// Value misprediction under selective reissue: replay dependents
+		// with the paper's idealistic 0-cycle repair.
+		if e.conf && e.predWrong && s.cfg.Recovery == SelectiveReissue && e.predUsed {
+			s.reissueDependents(slot)
+		}
+	}
+}
+
+// findViolatingLoad returns the oldest load younger than the store at slot
+// that already executed with an overlapping address, or noSlot.
+func (s *Sim) findViolatingLoad(storeSlot int, se *robEntry) int {
+	saddr := s.di(se.ti).Addr &^ 7
+	for slot, n := s.next(storeSlot), s.slotAge(storeSlot)+1; n < s.count; slot, n = s.next(slot), n+1 {
+		e := s.entry(slot)
+		if !e.isLoad || !e.issued {
+			continue
+		}
+		if e.issueCyc >= se.doneCyc {
+			continue // load issued after the store resolved: saw it
+		}
+		if s.di(e.ti).Addr&^7 == saddr {
+			return slot
+		}
+	}
+	return noSlot
+}
+
+// reissueDependents invalidates (transitively) every issued µop that
+// consumed a value derived from the mispredicted producer at root, making
+// them re-execute with correct inputs.
+func (s *Sim) reissueDependents(root int) {
+	invalid := make([]bool, len(s.rob))
+	invalid[root] = true
+	rootE := s.entry(root)
+	for slot, n := s.next(root), s.slotAge(root)+1; n < s.count; slot, n = s.next(slot), n+1 {
+		e := s.entry(slot)
+		if !e.issued {
+			continue
+		}
+		bad := false
+		if e.dep1 != noSlot && invalid[e.dep1] && s.rob[e.dep1].seq == e.dep1Seq {
+			bad = s.consumedStale(e, e.dep1, root, rootE)
+		}
+		if !bad && e.dep2 != noSlot && invalid[e.dep2] && s.rob[e.dep2].seq == e.dep2Seq {
+			bad = s.consumedStale(e, e.dep2, root, rootE)
+		}
+		if !bad {
+			continue
+		}
+		invalid[slot] = true
+		e.issued = false
+		e.done = false
+		e.wbDone = false
+		e.fwdStore = false
+		e.doneCyc = 0
+		if s.warmed {
+			s.stats.ReissuedUops++
+		}
+	}
+}
+
+// consumedStale reports whether e's use of producer p was based on a stale
+// value: for the root producer, only consumers that issued before its
+// correct result existed; for transitively reissued producers, any issue.
+func (s *Sim) consumedStale(e *robEntry, p int, root int, rootE *robEntry) bool {
+	if p == root {
+		return e.issueCyc < rootE.doneCyc
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- issue ---
+
+func (s *Sim) issue() {
+	issued := 0
+	aluUsed, mulUsed, fpUsed, fpMulUsed, memUsed := 0, 0, 0, 0, 0
+	for slot, n := s.head, 0; n < s.count && issued < s.cfg.IssueWidth; slot, n = s.next(slot), n+1 {
+		e := s.entry(slot)
+		if !e.dispatched || e.issued {
+			continue
+		}
+		if !s.srcReady(e) {
+			continue
+		}
+		di := s.di(e.ti)
+		var lat int64
+		switch isa.ClassOf(di.Op) {
+		case isa.ClassNop, isa.ClassHalt:
+			lat = s.cfg.LatALU
+			if aluUsed >= s.cfg.ALUs {
+				continue
+			}
+			aluUsed++
+		case isa.ClassIntAlu, isa.ClassBranch, isa.ClassJump, isa.ClassJumpInd, isa.ClassCall, isa.ClassRet:
+			if aluUsed >= s.cfg.ALUs {
+				continue
+			}
+			aluUsed++
+			lat = s.cfg.LatALU
+		case isa.ClassIntMul:
+			if mulUsed >= s.cfg.MulDivs {
+				continue
+			}
+			mulUsed++
+			lat = s.cfg.LatMul
+		case isa.ClassIntDiv:
+			u := freeUnit(s.divFree, s.cycle)
+			if u < 0 {
+				continue
+			}
+			s.divFree[u] = s.cycle + s.cfg.LatDiv
+			lat = s.cfg.LatDiv
+		case isa.ClassFPAlu:
+			if fpUsed >= s.cfg.FPUs {
+				continue
+			}
+			fpUsed++
+			lat = s.cfg.LatFP
+		case isa.ClassFPMul:
+			if fpMulUsed >= s.cfg.FPMulDivs {
+				continue
+			}
+			fpMulUsed++
+			lat = s.cfg.LatFPMul
+		case isa.ClassFPDiv:
+			u := freeUnit(s.fpDivFree, s.cycle)
+			if u < 0 {
+				continue
+			}
+			s.fpDivFree[u] = s.cycle + s.cfg.LatFPDiv
+			lat = s.cfg.LatFPDiv
+		case isa.ClassLoad:
+			if memUsed >= s.cfg.MemPorts {
+				continue
+			}
+			l, ok := s.loadLatency(slot, e)
+			if !ok {
+				continue // blocked on disambiguation or MSHRs: retry
+			}
+			memUsed++
+			lat = l
+		case isa.ClassStore:
+			if memUsed >= s.cfg.MemPorts {
+				continue
+			}
+			memUsed++
+			lat = 1 // address generation; data written at commit
+		}
+
+		e.issued = true
+		e.issueCyc = s.cycle
+		e.doneCyc = s.cycle + lat
+		e.done = true // completion is timestamped; effects apply at doneCyc
+		s.markSpecUse(e)
+		issued++
+		// IQ entries release at issue, except that under selective reissue
+		// value-speculatively issued µops stay until validated (Section 7.2).
+		if e.inIQ && (s.cfg.Recovery == SquashAtCommit || !e.usedSpecSrc) {
+			e.inIQ = false
+			s.iqUsed--
+		}
+	}
+}
+
+func freeUnit(units []int64, now int64) int {
+	for i, t := range units {
+		if t <= now {
+			return i
+		}
+	}
+	return -1
+}
+
+// srcReady reports whether both sources of e are available this cycle —
+// from committed state, a completed producer (full bypass), or a confident
+// value prediction written to the PRF at the producer's dispatch.
+func (s *Sim) srcReady(e *robEntry) bool {
+	return s.operandReady(e.dep1, e.dep1Seq) && s.operandReady(e.dep2, e.dep2Seq)
+}
+
+func (s *Sim) operandReady(dep int, depSeq uint64) bool {
+	if dep == noSlot {
+		return true
+	}
+	p := &s.rob[dep]
+	if p.seq != depSeq {
+		return true // producer committed; value is architectural
+	}
+	if p.done && p.doneCyc <= s.cycle {
+		return true
+	}
+	return p.conf // predicted value available since dispatch
+}
+
+// markSpecUse records, for each source satisfied by a prediction rather
+// than a computed result, that the producer's prediction has been consumed.
+func (s *Sim) markSpecUse(e *robEntry) {
+	for _, d := range [2]struct {
+		slot int
+		seq  uint64
+	}{{e.dep1, e.dep1Seq}, {e.dep2, e.dep2Seq}} {
+		if d.slot == noSlot {
+			continue
+		}
+		p := &s.rob[d.slot]
+		if p.seq != d.seq {
+			continue
+		}
+		if !(p.done && p.doneCyc <= s.cycle) && p.conf {
+			p.predUsed = true
+			e.usedSpecSrc = true
+		}
+	}
+}
+
+// loadLatency resolves a load at issue time: store-set blocking, LSQ
+// forwarding, then the cache hierarchy. ok=false means "cannot issue now".
+func (s *Sim) loadLatency(slot int, e *robEntry) (int64, bool) {
+	di := s.di(e.ti)
+
+	// Store-set discipline: wait for the predicted-conflicting store.
+	if e.hasDepStore {
+		if ps := s.findInFlight(e.depStoreSeq); ps != noSlot {
+			p := s.entry(ps)
+			if !(p.done && p.doneCyc <= s.cycle) {
+				return 0, false
+			}
+		}
+	}
+
+	// Search older stores (youngest first) for a forwarding match.
+	addr := di.Addr &^ 7
+	for slot2, n := s.prevSlot(slot), s.slotAge(slot)-1; n >= 0; slot2, n = s.prevSlot(slot2), n-1 {
+		p := s.entry(slot2)
+		if !p.isStore {
+			continue
+		}
+		if !(p.done && p.doneCyc <= s.cycle) {
+			continue // unresolved older store: speculate past it (store sets)
+		}
+		if s.di(p.ti).Addr&^7 == addr {
+			e.fwdStore = true
+			return s.cfg.LatForward, true
+		}
+	}
+
+	done, ok := s.l1d.Access(s.cycle, di.Addr, uint64(di.PC), false, true)
+	if !ok {
+		return 0, false
+	}
+	return done - s.cycle, true
+}
+
+func (s *Sim) prevSlot(slot int) int { return (slot - 1 + len(s.rob)) % len(s.rob) }
+
+func (s *Sim) findInFlight(seq uint64) int {
+	for slot, n := s.head, 0; n < s.count; slot, n = s.next(slot), n+1 {
+		if s.rob[slot].seq == seq {
+			return slot
+		}
+	}
+	return noSlot
+}
+
+// releaseValidatedIQ frees IQ entries of issued µops whose value-speculative
+// sources have all been validated — the extra IQ pressure selective reissue
+// costs (Section 7.2.1).
+func (s *Sim) releaseValidatedIQ() {
+	for slot, n := s.head, 0; n < s.count; slot, n = s.next(slot), n+1 {
+		e := s.entry(slot)
+		if !e.inIQ || !e.issued || !e.done || e.doneCyc > s.cycle {
+			continue
+		}
+		if s.depValidated(e.dep1, e.dep1Seq) && s.depValidated(e.dep2, e.dep2Seq) {
+			e.inIQ = false
+			s.iqUsed--
+		}
+	}
+}
+
+func (s *Sim) depValidated(dep int, depSeq uint64) bool {
+	if dep == noSlot {
+		return true
+	}
+	p := &s.rob[dep]
+	if p.seq != depSeq {
+		return true
+	}
+	return p.done && p.doneCyc <= s.cycle
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (s *Sim) dispatch() {
+	for n := 0; n < s.cfg.DispatchWidth && len(s.feq) > 0; n++ {
+		fe := &s.feq[0]
+		if fe.readyCyc > s.cycle {
+			return
+		}
+		if s.count >= s.cfg.ROB {
+			s.stall(&s.stats.StallROB)
+			return
+		}
+		if s.iqUsed >= s.cfg.IQ {
+			s.stall(&s.stats.StallIQ)
+			return
+		}
+		di := s.di(fe.ti)
+		isLoad, isStore := isa.IsLoad(di.Op), isa.IsStore(di.Op)
+		if isLoad && s.lqUsed >= s.cfg.LQ {
+			s.stall(&s.stats.StallLQ)
+			return
+		}
+		if isStore && s.sqUsed >= s.cfg.SQ {
+			s.stall(&s.stats.StallSQ)
+			return
+		}
+		hasDest := di.Dst != isa.NoReg
+		if hasDest && !s.regs.For(di.Dst).TryAlloc() {
+			s.stall(&s.stats.StallRegs)
+			return
+		}
+
+		slot := s.tail
+		e := s.entry(slot)
+		*e = robEntry{
+			ti:         fe.ti,
+			seq:        di.Seq,
+			fetchCyc:   fe.readyCyc - s.cfg.FrontDepth,
+			dispCyc:    s.cycle,
+			dispatched: true,
+			inIQ:       true,
+			vpTried:    fe.vpTried,
+			conf:       fe.conf,
+			predWrong:  fe.predWrong,
+			meta:       fe.meta,
+			isCond:     fe.isCond,
+			brMispred:  fe.brMispred,
+			bmeta:      fe.bmeta,
+			histPos:    fe.histPos,
+			rasTop:     fe.rasTop,
+			hasDest:    hasDest,
+			destFP:     hasDest && di.Dst.IsFP(),
+			isLoad:     isLoad,
+			isStore:    isStore,
+			dep1:       noSlot,
+			dep2:       noSlot,
+		}
+		s.iqUsed++
+		if isLoad {
+			s.lqUsed++
+		}
+		if isStore {
+			s.sqUsed++
+		}
+
+		// Rename: resolve sources to in-flight producers.
+		if di.Src1 != isa.NoReg {
+			if p := s.lastProd[di.Src1]; p != noSlot {
+				e.dep1, e.dep1Seq = p, s.rob[p].seq
+			}
+		}
+		if di.Src2 != isa.NoReg {
+			if p := s.lastProd[di.Src2]; p != noSlot {
+				e.dep2, e.dep2Seq = p, s.rob[p].seq
+			}
+		}
+		if hasDest {
+			s.lastProd[di.Dst] = slot
+		}
+
+		// Memory dependence prediction (store sets).
+		if isStore {
+			s.ssets.StoreFetched(uint64(di.PC), di.Seq)
+		}
+		if isLoad {
+			if tok, wait := s.ssets.LoadFetched(uint64(di.PC)); wait {
+				e.depStoreSeq, e.hasDepStore = tok, true
+			}
+		}
+
+		s.tail = s.next(s.tail)
+		s.count++
+		s.feq = s.feq[1:]
+	}
+}
+
+func (s *Sim) stall(counter *uint64) {
+	if s.warmed {
+		*counter++
+	}
+}
+
+// ---------------------------------------------------------------- fetch ---
+
+// fetchBufCap bounds the decoupling queue between fetch and dispatch.
+const fetchBufCap = 64
+
+func (s *Sim) fetch() {
+	if s.fetchBlocked || s.cycle < s.nextFetchCyc || s.fetchIdx >= len(s.trace) {
+		return
+	}
+	if len(s.feq) >= fetchBufCap {
+		return
+	}
+	taken := 0
+	linesTouched := 0
+	var lastLine uint64 = ^uint64(0)
+
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if s.fetchIdx >= len(s.trace) {
+			return
+		}
+		di := s.di(s.fetchIdx)
+
+		// Instruction cache: µops are 8 bytes, 8 per 64B line; a fetch group
+		// may span two lines.
+		lineAddr := uint64(di.PC) * 8 / mem.LineBytes
+		if lineAddr != lastLine {
+			if linesTouched == 2 {
+				return // line bandwidth exhausted this cycle
+			}
+			if !s.l1i.Contains(uint64(di.PC) * 8) {
+				done, ok := s.l1i.Access(s.cycle, uint64(di.PC)*8, uint64(di.PC), false, true)
+				if s.warmed {
+					s.stats.FetchIMissStalls++
+				}
+				if ok {
+					s.nextFetchCyc = done
+				} else {
+					s.nextFetchCyc = s.cycle + 1
+				}
+				return
+			}
+			linesTouched++
+			lastLine = lineAddr
+		}
+
+		fe := feEntry{
+			ti:       s.fetchIdx,
+			readyCyc: s.cycle + s.cfg.FrontDepth,
+			histPos:  s.hist.Pos(),
+			rasTop:   s.ras.Top(),
+		}
+
+		// Value prediction happens in the front-end for every µop producing
+		// a register (Section 7.2).
+		if s.pred != nil && di.HasDest() && (!s.cfg.PredictLoadsOnly || isa.IsLoad(di.Op)) {
+			fe.vpTried = true
+			if of, ok := s.pred.(core.OracleFeed); ok {
+				of.FeedActual(di.Result)
+			}
+			fe.meta = s.pred.Predict(uint64(di.PC))
+			fe.meta.Seq = di.Seq
+			fe.conf = fe.meta.Conf
+			fe.predWrong = fe.conf && fe.meta.Pred != di.Result
+			// Speculative occurrence tracking, following Section 7.1's
+			// idealization: the paper assumes predictors deliver predictions
+			// instantaneously with the correct last speculative occurrences
+			// available ("o4-FCM is — unrealistically — able to deliver
+			// predictions for two occurrences fetched in two consecutive
+			// cycles"). The trace-driven equivalent feeds the occurrence's
+			// actual outcome, which a real machine approximates through
+			// execution-time repair of the speculative window.
+			if sf, ok := s.pred.(core.SpecFeeder); ok {
+				sf.FeedSpec(uint64(di.PC), di.Result, di.Seq)
+			}
+		}
+
+		// Back-to-back statistic (Section 3.2).
+		if s.warmed {
+			s.stats.FetchedUops++
+			if di.HasDest() {
+				if last, ok := s.lastFetchCyc[di.PC]; ok && last == s.cycle-1 {
+					s.stats.B2BEligible++
+				}
+			}
+		}
+		s.lastFetchCyc[di.PC] = s.cycle
+
+		stop := false
+		if isa.IsControl(di.Op) {
+			stop = s.fetchControl(di, &fe, &taken)
+		}
+
+		s.feq = append(s.feq, fe)
+		s.fetchIdx++
+		if stop {
+			return
+		}
+	}
+}
+
+// fetchControl models branch prediction at fetch for one control µop. It
+// returns true if fetch must stop after this µop (taken-branch budget,
+// misprediction stall, or BTB redirect bubble).
+func (s *Sim) fetchControl(di *isa.DynInst, fe *feEntry, taken *int) bool {
+	pc := uint64(di.PC)
+	stop := false
+	mispred := false
+	btbBubble := false
+
+	switch isa.ClassOf(di.Op) {
+	case isa.ClassBranch:
+		fe.isCond = true
+		predTaken, m := s.tage.Predict(pc)
+		fe.bmeta = m
+		mispred = predTaken != di.Taken
+		if predTaken && di.Taken {
+			if _, hit := s.btb.Lookup(pc); !hit {
+				btbBubble = true
+			}
+		}
+		s.hist.Push(di.Taken, pc)
+	case isa.ClassJump, isa.ClassCall:
+		if _, hit := s.btb.Lookup(pc); !hit {
+			btbBubble = true
+		}
+		if isa.ClassOf(di.Op) == isa.ClassCall {
+			s.ras.Push(di.PC + 1)
+		}
+	case isa.ClassJumpInd:
+		tgt, hit := s.btb.Lookup(pc)
+		mispred = !hit || tgt != di.NextPC
+	case isa.ClassRet:
+		mispred = s.ras.Pop() != di.NextPC
+	}
+
+	if di.Taken {
+		s.btb.Insert(pc, di.NextPC)
+		*taken++
+		if *taken >= s.cfg.TakenPerCyc {
+			stop = true
+		}
+	}
+	if mispred {
+		fe.brMispred = true
+		s.fetchBlocked = true
+		return true
+	}
+	if btbBubble {
+		// Direct branch with an unknown target: the decoder redirects a few
+		// cycles later rather than waiting for execution.
+		if s.warmed {
+			s.stats.BTBBubbles++
+		}
+		s.nextFetchCyc = s.cycle + s.cfg.BTBMissBubble
+		return true
+	}
+	return stop
+}
+
+// ---------------------------------------------------------------- squash --
+
+// squashFromAge flushes the ROB from age position fromAge (0 = head,
+// inclusive) to the tail, clears the front-end, and restarts fetch at trace
+// index resumeTI at cycle resumeCyc. It repairs the global history, the RAS,
+// the rename producer table, the store-set LFST, and the value predictor's
+// speculative state. Ages (not slots) disambiguate the full-ROB wrap case.
+func (s *Sim) squashFromAge(fromAge int, resumeTI int, resumeCyc int64) {
+	// Determine the checkpoint: the first squashed µop's fetch-time state,
+	// or (if the ROB part is empty) the oldest front-end entry's.
+	var histPos uint64
+	var rasTop int
+	restored := false
+
+	if fromAge < s.count {
+		slot := (s.head + fromAge) % len(s.rob)
+		e := s.entry(slot)
+		histPos, rasTop, restored = e.histPos, e.rasTop, true
+		// Free resources of every squashed entry.
+		for cur, n := slot, fromAge; n < s.count; cur, n = s.next(cur), n+1 {
+			se := s.entry(cur)
+			if se.hasDest {
+				s.regs.For(s.di(se.ti).Dst).Release()
+			}
+			if se.isLoad {
+				s.lqUsed--
+			}
+			if se.isStore {
+				s.sqUsed--
+			}
+			if se.inIQ {
+				s.iqUsed--
+			}
+		}
+		s.count = fromAge
+		s.tail = slot
+	}
+	if !restored && len(s.feq) > 0 {
+		histPos, rasTop, restored = s.feq[0].histPos, s.feq[0].rasTop, true
+	}
+	if restored {
+		s.hist.RollTo(histPos)
+		s.ras.Restore(rasTop)
+	}
+	s.feq = s.feq[:0]
+
+	// Rebuild the rename table from the surviving ROB prefix.
+	for i := range s.lastProd {
+		s.lastProd[i] = noSlot
+	}
+	for cur, n := s.head, 0; n < s.count; cur, n = s.next(cur), n+1 {
+		e := s.entry(cur)
+		if e.hasDest {
+			s.lastProd[s.di(e.ti).Dst] = cur
+		}
+	}
+
+	// Rebuild the LFST from surviving stores; speculative value-predictor
+	// state dies with the in-flight µops.
+	s.ssets.Clear()
+	for cur, n := s.head, 0; n < s.count; cur, n = s.next(cur), n+1 {
+		e := s.entry(cur)
+		if e.isStore {
+			s.ssets.StoreFetched(uint64(s.di(e.ti).PC), e.seq)
+		}
+	}
+	if s.pred != nil {
+		s.pred.Squash(s.seqAt(resumeTI))
+	}
+
+	s.fetchIdx = resumeTI
+	s.nextFetchCyc = resumeCyc
+	s.fetchBlocked = false
+}
+
+// seqAt returns the sequence number of the µop at trace index ti, or one
+// past the last sequence when ti is at the end of the trace.
+func (s *Sim) seqAt(ti int) uint64 {
+	if ti >= len(s.trace) {
+		if len(s.trace) == 0 {
+			return 0
+		}
+		return s.trace[len(s.trace)-1].Seq + 1
+	}
+	return s.trace[ti].Seq
+}
+
+// Stats exposes the accumulated statistics (valid after Run).
+func (s *Sim) Stats() *Stats { return &s.stats }

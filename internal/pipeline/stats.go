@@ -1,0 +1,90 @@
+package pipeline
+
+// Stats accumulates simulation measurements. Counters marked "(measured)"
+// are collected only after the warmup window, mirroring the paper's 50M
+// warmup / 50M measurement methodology.
+type Stats struct {
+	Cycles    int64
+	Committed uint64
+
+	// Measurement window boundaries.
+	WarmCycles    int64
+	WarmCommitted uint64
+
+	// Value prediction (measured, counted at commit).
+	Eligible    uint64 // committed µops producing a register
+	Used        uint64 // confident predictions the pipeline consumed
+	UsedCorrect uint64
+	UsedWrong   uint64
+	WrongUnused uint64 // wrong predictions silently replaced (no dependent issued)
+
+	// Recovery events (measured).
+	SquashBranch   uint64
+	SquashValue    uint64
+	SquashMemOrder uint64
+	ReissuedUops   uint64
+
+	// Branch prediction (measured, counted at commit).
+	CondBranches    uint64
+	CondMispredicts uint64
+
+	// Fetch statistics (measured; Fig. 1 motivation).
+	FetchedUops      uint64
+	B2BEligible      uint64 // VP-eligible µops whose previous occurrence was fetched the cycle before
+	FetchIMissStalls uint64
+	BTBBubbles       uint64
+
+	// Structural stalls at dispatch (measured).
+	StallROB, StallIQ, StallLQ, StallSQ, StallRegs uint64
+}
+
+// MeasuredCycles returns the cycle count of the measurement window.
+func (s *Stats) MeasuredCycles() int64 { return s.Cycles - s.WarmCycles }
+
+// MeasuredCommitted returns the µops committed inside the window.
+func (s *Stats) MeasuredCommitted() uint64 { return s.Committed - s.WarmCommitted }
+
+// IPC returns committed µops per cycle over the measurement window.
+func (s *Stats) IPC() float64 {
+	c := s.MeasuredCycles()
+	if c <= 0 {
+		return 0
+	}
+	return float64(s.MeasuredCommitted()) / float64(c)
+}
+
+// Coverage is the fraction of eligible µops whose prediction was used
+// (the paper's coverage definition).
+func (s *Stats) Coverage() float64 {
+	if s.Eligible == 0 {
+		return 0
+	}
+	return float64(s.Used) / float64(s.Eligible)
+}
+
+// Accuracy is the fraction of used predictions that were correct.
+func (s *Stats) Accuracy() float64 {
+	if s.Used == 0 {
+		return 1
+	}
+	return float64(s.UsedCorrect) / float64(s.Used)
+}
+
+// B2BFraction is the fraction of fetched VP-eligible µops whose previous
+// dynamic occurrence was fetched in the previous cycle (Section 3.2: up to
+// 15.3%, 3.4% amean on the paper's machine).
+func (s *Stats) B2BFraction() float64 {
+	if s.FetchedUops == 0 {
+		return 0
+	}
+	return float64(s.B2BEligible) / float64(s.FetchedUops)
+}
+
+// BranchMPKI returns conditional branch mispredictions per kilo-µop.
+func (s *Stats) BranchMPKI() float64 {
+	c := s.MeasuredCommitted()
+	if c == 0 {
+		return 0
+	}
+	return 1000 * float64(s.CondMispredicts) / float64(c)
+}

@@ -1,0 +1,92 @@
+// Package regfile models the physical register files of the out-of-order
+// engine (Table 2: 256 INT + 256 FP) — free-list pressure at rename,
+// release at the commit of the next writer — plus the Zyuban-Kogge
+// area/energy model the paper uses in Section 4 to size the cost of the
+// extra write ports that commit-time value prediction needs.
+package regfile
+
+import "repro/internal/isa"
+
+// File tracks physical register occupancy for one register class.
+type File struct {
+	free  int
+	total int
+}
+
+// NewFile returns a file with n physical registers, minus the architectural
+// mappings that are permanently live (32 per class).
+func NewFile(n int) *File {
+	return &File{free: n - 32, total: n}
+}
+
+// TryAlloc takes one free register, reporting false when none remain (rename
+// stalls).
+func (f *File) TryAlloc() bool {
+	if f.free == 0 {
+		return false
+	}
+	f.free--
+	return true
+}
+
+// Release returns one register to the free list (the previous mapping of an
+// architectural register dies when its next writer commits, or a squashed
+// µop's allocation is rolled back).
+func (f *File) Release() {
+	f.free++
+	if f.free > f.total-32 {
+		f.free = f.total - 32
+	}
+}
+
+// Free reports the current free-register count.
+func (f *File) Free() int { return f.free }
+
+// Files bundles the INT and FP register files.
+type Files struct {
+	Int *File
+	FP  *File
+}
+
+// NewFiles returns Table 2's 256/256 configuration when given 256, 256.
+func NewFiles(nInt, nFP int) *Files {
+	return &Files{Int: NewFile(nInt), FP: NewFile(nFP)}
+}
+
+// For returns the file backing architectural register r.
+func (fs *Files) For(r isa.Reg) *File {
+	if r.IsFP() {
+		return fs.FP
+	}
+	return fs.Int
+}
+
+// Area returns the Zyuban-Kogge register file area estimate, proportional to
+// (R+W)(R+2W) for R read and W write ports [29].
+func Area(readPorts, writePorts int) int {
+	return (readPorts + writePorts) * (readPorts + 2*writePorts)
+}
+
+// PortScenario is one register-file provisioning option from Section 4.
+type PortScenario struct {
+	Name       string
+	ReadPorts  int     // R
+	WritePorts int     // total write ports (baseline W plus any VP ports)
+	AreaUnits  float64 // in units of W² for the paper's comparison
+}
+
+// Section4Scenarios reproduces the paper's worked example for issue width W:
+// baseline R=2W reads and W writes (area 12W²), naive value prediction
+// doubling the write ports (24W²), and the buffered W/2-extra-port design
+// (17.5W², i.e. "35W²/2").
+func Section4Scenarios(w int) []PortScenario {
+	base := Area(2*w, w)
+	naive := Area(2*w, 2*w)
+	buffered := Area(2*w, w+w/2)
+	unit := float64(w * w)
+	return []PortScenario{
+		{"baseline (R=2W, W writes)", 2 * w, w, float64(base) / unit},
+		{"naive VP (2W writes)", 2 * w, 2 * w, float64(naive) / unit},
+		{"buffered VP (W/2 extra)", 2 * w, w + w/2, float64(buffered) / unit},
+	}
+}

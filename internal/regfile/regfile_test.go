@@ -1,0 +1,65 @@
+package regfile
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAllocRelease(t *testing.T) {
+	f := NewFile(40) // 8 allocatable beyond the 32 architectural
+	for i := 0; i < 8; i++ {
+		if !f.TryAlloc() {
+			t.Fatalf("alloc %d failed with %d free", i, f.Free())
+		}
+	}
+	if f.TryAlloc() {
+		t.Error("alloc succeeded with empty free list")
+	}
+	f.Release()
+	if !f.TryAlloc() {
+		t.Error("alloc failed after release")
+	}
+}
+
+func TestReleaseClampsAtCapacity(t *testing.T) {
+	f := NewFile(40)
+	for i := 0; i < 20; i++ {
+		f.Release()
+	}
+	if f.Free() != 8 {
+		t.Errorf("Free = %d after over-release, want 8", f.Free())
+	}
+}
+
+func TestFilesDispatchByClass(t *testing.T) {
+	fs := NewFiles(256, 256)
+	if fs.For(isa.R3) != fs.Int {
+		t.Error("integer register routed to FP file")
+	}
+	if fs.For(isa.F3) != fs.FP {
+		t.Error("FP register routed to INT file")
+	}
+}
+
+func TestZyubanKoggeArea(t *testing.T) {
+	// (R+W)(R+2W) with R=2W gives 12W².
+	if got := Area(16, 8); got != 24*32 {
+		t.Errorf("Area(16,8) = %d, want 768 (12W², W=8)", got)
+	}
+}
+
+func TestSection4ScenariosMatchPaper(t *testing.T) {
+	sc := Section4Scenarios(8)
+	wants := []float64{12, 24, 17.5} // the paper's 12W², 24W², 35W²/2
+	for i, s := range sc {
+		if s.AreaUnits != wants[i] {
+			t.Errorf("%s: %.1f W², want %.1f W²", s.Name, s.AreaUnits, wants[i])
+		}
+	}
+	// The buffered design halves the naive overhead as the paper claims:
+	// overhead over baseline is (17.5-12) vs (24-12).
+	if over := sc[2].AreaUnits - sc[0].AreaUnits; over > (sc[1].AreaUnits-sc[0].AreaUnits)/2 {
+		t.Errorf("buffered overhead %.1f W² exceeds half the naive overhead", over)
+	}
+}

@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelsAndPredictorsListed(t *testing.T) {
+	if got := len(Kernels()); got != 19 {
+		t.Errorf("Kernels() = %d entries, want 19", got)
+	}
+	found := map[string]bool{}
+	for _, p := range Predictors() {
+		found[p] = true
+	}
+	for _, want := range []string{"none", "lvp", "stride", "fcm", "vtage", "oracle", "vtage+stride"} {
+		if !found[want] {
+			t.Errorf("Predictors() missing %q", want)
+		}
+	}
+}
+
+func TestSimulateDefaultsAndErrors(t *testing.T) {
+	if _, err := Simulate(Options{Kernel: "nope", Predictor: "vtage"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Simulate(Options{Kernel: "gzip", Predictor: "nope"}); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	s, err := Simulate(Options{
+		Kernel: "gzip", Predictor: "vtage", Counters: FPC,
+		Warmup: 5_000, Measure: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IPC <= 0 || s.Speedup <= 0 {
+		t.Errorf("degenerate summary: %+v", s)
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := RunExperiment("table1", 0, 0, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"VTAGE", "LVP", "2D-Stride", "o4-FCM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := RunExperiment("fig99", 0, 0, &strings.Builder{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsCoverEveryPaperArtifact(t *testing.T) {
+	ids := Experiments()
+	want := []string{"table1", "table2", "table3", "fig1", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "acc", "sec3", "sec4"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+}
