@@ -48,17 +48,18 @@ type Options struct {
 	Recovery  Recovery // SquashAtCommit or SelectiveReissue
 	Warmup    uint64   // µops before measurement (default 50_000)
 	Measure   uint64   // measured µops (default 250_000)
+	Workers   int      // parallel simulation workers (<=0: GOMAXPROCS)
 }
 
 // Summary reports the headline results of one simulation.
 type Summary struct {
-	Kernel    string
-	Predictor string
-	IPC       float64
-	Speedup   float64 // vs the same machine without value prediction
-	Coverage  float64
-	Accuracy  float64
-	Stats     pipeline.Stats // full counters
+	Kernel    string         `json:"kernel"`
+	Predictor string         `json:"predictor"`
+	IPC       float64        `json:"ipc"`
+	Speedup   float64        `json:"speedup"` // vs the same machine without value prediction
+	Coverage  float64        `json:"coverage"`
+	Accuracy  float64        `json:"accuracy"`
+	Stats     pipeline.Stats `json:"stats"` // full counters
 }
 
 // Kernels lists the 19 synthetic benchmark names (Table 3 order).
@@ -85,10 +86,13 @@ func Simulate(o Options) (Summary, error) {
 		Counters:  o.Counters,
 		Recovery:  o.Recovery,
 	}
-	r, err := se.Run(spec)
+	// Batch the run and its baseline so they execute in parallel when the
+	// caller grants more than one worker.
+	results, err := se.RunAll([]harness.Spec{spec, spec.Baseline()}, o.Workers)
 	if err != nil {
 		return Summary{}, err
 	}
+	r := results[0]
 	sp, err := se.Speedup(spec)
 	if err != nil {
 		return Summary{}, err
@@ -113,12 +117,26 @@ func Experiments() []string {
 	return ids
 }
 
+// ExperimentOptions sizes, parallelizes, and formats one experiment run.
+type ExperimentOptions struct {
+	Warmup  uint64 // µops before measurement per simulation
+	Measure uint64 // measured µops per simulation
+	Workers int    // parallel simulation workers (<=0: GOMAXPROCS)
+	Format  string // "text" (default), "json", or "csv"
+}
+
 // RunExperiment regenerates one of the paper's tables or figures into w.
 // Warmup/measure size each underlying simulation.
 func RunExperiment(id string, warmup, measure uint64, w io.Writer) error {
+	return RunExperimentOpts(id, ExperimentOptions{Warmup: warmup, Measure: measure}, w)
+}
+
+// RunExperimentOpts regenerates one experiment into w, fanning its
+// simulations out across o.Workers goroutines and emitting o.Format.
+func RunExperimentOpts(id string, o ExperimentOptions, w io.Writer) error {
 	e, ok := harness.ExperimentByID(id)
 	if !ok {
 		return fmt.Errorf("repro: unknown experiment %q (have %v)", id, Experiments())
 	}
-	return e.Run(harness.NewSession(warmup, measure), w)
+	return harness.Render(harness.NewSession(o.Warmup, o.Measure), e, o.Format, o.Workers, w)
 }

@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	experiments -all                 # everything (several minutes)
-//	experiments -run fig4            # one table/figure
+//	experiments -all                         # everything (several minutes)
+//	experiments -run fig4                    # one table/figure
 //	experiments -run fig4 -measure 1000000   # bigger windows
+//	experiments -run fig4 -workers 8         # parallel simulation
+//	experiments -run fig4 -format json       # structured results
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,41 +23,63 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "experiment id to run (see -list)")
-	all := flag.Bool("all", false, "run every experiment")
-	warmup := flag.Uint64("warmup", 50_000, "warmup µops per simulation")
-	measure := flag.Uint64("measure", 250_000, "measured µops per simulation")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runID := fs.String("run", "", "experiment id to run (see -list)")
+	all := fs.Bool("all", false, "run every experiment")
+	warmup := fs.Uint64("warmup", 50_000, "warmup µops per simulation")
+	measure := fs.Uint64("measure", 250_000, "measured µops per simulation")
+	workers := fs.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS)")
+	format := fs.String("format", "text", "output format for -run: text, json, or csv")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	se := harness.NewSession(*warmup, *measure)
 	switch {
 	case *all:
-		if err := harness.RunAll(se, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if *format != "text" {
+			fmt.Fprintln(stderr, "experiments: -format json|csv applies to -run, not -all")
+			return 2
 		}
-	case *run != "":
-		e, ok := harness.ExperimentByID(*run)
+		if err := harness.RunAllExperiments(se, stdout, *workers); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+	case *runID != "":
+		e, ok := harness.ExperimentByID(*runID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (have %s)\n",
-				*run, strings.Join(repro.Experiments(), ", "))
-			os.Exit(2)
+			fmt.Fprintf(stderr, "experiments: unknown id %q (have %s)\n",
+				*runID, strings.Join(repro.Experiments(), ", "))
+			return 2
 		}
-		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		if err := e.Run(se, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if *format == "text" {
+			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
+		}
+		if err := harness.Render(se, e, *format, *workers, stdout); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListShowsEveryExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, id := range []string{"table1", "fig1", "fig4", "acc", "abl-width"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+// TestRunJSONRoundTrip drives the real flag path: -run fig1 -format json
+// must emit a JSON array that parses back into one record per kernel with
+// the stable field names.
+func TestRunJSONRoundTrip(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-run", "fig1", "-format", "json",
+		"-warmup", "500", "-measure", "2000", "-workers", "4"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(recs) != 19 {
+		t.Fatalf("got %d records, want 19 (one per kernel)", len(recs))
+	}
+	for _, r := range recs {
+		for _, key := range []string{"kernel", "predictor", "ipc", "speedup", "coverage"} {
+			if _, ok := r[key]; !ok {
+				t.Fatalf("record missing field %q: %v", key, r)
+			}
+		}
+		if r["predictor"] != "none" || r["speedup"] != 1.0 {
+			t.Errorf("fig1 records are baseline runs, got %v", r)
+		}
+	}
+}
+
+func TestRunCSVHasHeaderAndRows(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-run", "fig1", "-format", "csv", "-warmup", "500", "-measure", "2000"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("got %d CSV lines, want 20 (header + 19 kernels)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "kernel,predictor,") {
+		t.Errorf("unexpected CSV header: %s", lines[0])
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-run", "fig99"},                  // unknown id
+		{"-all", "-format", "json"},        // -all is text-only
+		{},                                 // no action
+		{"-bogusflag"},                     // parse error
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "fig1", "-format", "bogus"}, &out, &errb); code != 1 {
+		t.Errorf("unknown format exited %d, want 1", code)
+	}
+}

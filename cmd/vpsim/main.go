@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,8 @@ func main() {
 	recovery := flag.String("recovery", "squash", "misprediction recovery: squash or reissue")
 	warmup := flag.Uint64("warmup", 50_000, "warmup µops")
 	measure := flag.Uint64("measure", 250_000, "measured µops")
+	workers := flag.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text or json")
 	list := flag.Bool("list", false, "list kernels and exit")
 	flag.Parse()
 
@@ -33,11 +36,16 @@ func main() {
 		return
 	}
 
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "vpsim: unknown format %q (have text, json)\n", *format)
+		os.Exit(2)
+	}
 	opts := repro.Options{
 		Kernel:    *kernel,
 		Predictor: *pred,
 		Warmup:    *warmup,
 		Measure:   *measure,
+		Workers:   *workers,
 	}
 	switch *counters {
 	case "baseline":
@@ -62,6 +70,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpsim:", err)
 		os.Exit(1)
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, "vpsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("kernel      %s\n", s.Kernel)
 	fmt.Printf("predictor   %s (%s counters, %s recovery)\n", s.Predictor, *counters, *recovery)

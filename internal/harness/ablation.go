@@ -33,6 +33,10 @@ func (se *Session) RunCustom(kernel string, rec pipeline.RecoveryMode, mk func(h
 // context-predictable one, a drift-heavy one, and a VP-neutral one.
 var ablationKernels = []string{"art", "gcc", "gobmk", "milc"}
 
+// ablLoadsKernels is the kernel set of the loads-only ablation: large-gain,
+// drift-heavy, FP, pointer-chasing, context, and memory-bound examples.
+var ablLoadsKernels = []string{"art", "parser", "gamess", "vortex", "hmmer", "lbm"}
+
 // fpcPoint is one confidence strength in the FPC ablation.
 type fpcPoint struct {
 	name string
@@ -156,7 +160,7 @@ func runProfile(se *Session, w io.Writer) error {
 func runAblLoads(se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "VTAGE-2DStr hybrid with FPC, squash-at-commit: all µops vs loads only\n")
 	fmt.Fprintf(w, "%-10s %12s %12s\n", "kernel", "all uops", "loads only")
-	for _, k := range []string{"art", "parser", "gamess", "vortex", "hmmer", "lbm"} {
+	for _, k := range ablLoadsKernels {
 		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
 		if err != nil {
 			return err

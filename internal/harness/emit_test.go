@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenRecords are fixed, hand-written values: the golden files pin the
+// serialization format (field names, ordering, float rendering), not
+// simulator output.
+func goldenRecords() []Record {
+	return []Record{
+		{
+			Kernel: "art", Predictor: "vtage", Counters: "FPC", Recovery: "squash",
+			IPC: 1.25, Speedup: 1.5, Coverage: 0.4, Accuracy: 0.9975,
+			Committed: 250000, Cycles: 200000,
+			SquashValue: 12, SquashBranch: 34, SquashMemOrder: 5, ReissuedUops: 0,
+			BranchMPKI: 1.36, B2BFraction: 0.034,
+		},
+		{
+			Kernel: "gzip", Predictor: "none", Counters: "baseline", Recovery: "reissue",
+			IPC: 2, Speedup: 1, Coverage: 0, Accuracy: 1,
+			Committed: 250000, Cycles: 125000,
+			SquashValue: 0, SquashBranch: 7, SquashMemOrder: 0, ReissuedUops: 3,
+			BranchMPKI: 0.028, B2BFraction: 0,
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "records.golden.json", buf.Bytes())
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "records.golden.csv", buf.Bytes())
+}
+
+// TestRecordFieldNamesStable ties the JSON keys to the CSV header: both are
+// the public contract of the structured-results layer.
+func TestRecordFieldNamesStable(t *testing.T) {
+	raw, err := json.Marshal(goldenRecords()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(csvHeader) {
+		t.Errorf("Record marshals %d JSON fields, CSV header has %d", len(m), len(csvHeader))
+	}
+	for _, key := range csvHeader {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON output missing field %q present in CSV header", key)
+		}
+	}
+}
+
+// TestSessionRecords runs a tiny real batch through the Record layer.
+func TestSessionRecords(t *testing.T) {
+	se := NewSession(testWindows(1_000, 4_000))
+	specs := []Spec{
+		{Kernel: "art", Predictor: "none"},
+		{Kernel: "art", Predictor: "lvp", Counters: FPC},
+	}
+	recs, err := se.Records(specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Predictor != "none" || recs[0].Speedup != 1 {
+		t.Errorf("baseline record should have speedup 1: %+v", recs[0])
+	}
+	if recs[1].Kernel != "art" || recs[1].Predictor != "lvp" || recs[1].Counters != "FPC" {
+		t.Errorf("record spec fields wrong: %+v", recs[1])
+	}
+	if recs[1].IPC <= 0 || recs[1].Speedup <= 0 {
+		t.Errorf("degenerate record: %+v", recs[1])
+	}
+	if _, err := se.Records([]Spec{{Kernel: "nope", Predictor: "none"}}, 1); err == nil {
+		t.Error("unknown kernel accepted by Records")
+	}
+}

@@ -12,35 +12,127 @@ import (
 	"repro/internal/regfile"
 )
 
-// Experiment regenerates one table or figure of the paper.
+// Experiment regenerates one table or figure of the paper. Specs, when
+// non-nil, pre-declares every memoizable simulation the renderer will
+// request, letting the engine batch-schedule the whole figure across the
+// worker pool before Run touches the session (Run then only reads warm memo
+// entries). Static tables and ablations that construct custom predictors
+// declare only their memoized subset (or nothing).
 type Experiment struct {
 	ID    string
 	Title string
+	Specs func() []Spec
 	Run   func(se *Session, w io.Writer) error
 }
 
 // Experiments returns every experiment in DESIGN.md §5 order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1: predictor layout summary", runTable1},
-		{"table2", "Table 2: simulator configuration", runTable2},
-		{"table3", "Table 3: benchmarks (synthetic equivalents)", runTable3},
-		{"fig1", "Fig. 1 motivation: back-to-back VP-eligible fetches", runFig1},
-		{"fig3", "Fig. 3: speedup upper bound with a perfect predictor", runFig3},
-		{"fig4", "Fig. 4: speedup, squash at commit (a: baseline counters, b: FPC)", runFig4},
-		{"fig5", "Fig. 5: speedup, selective reissue (a: baseline counters, b: FPC)", runFig5},
-		{"fig6", "Fig. 6: VTAGE speedup and coverage, baseline vs FPC", runFig6},
-		{"fig7", "Fig. 7: hybrid predictors, speedup and coverage (FPC, squash)", runFig7},
-		{"acc", "Accuracy: baseline counters vs FPC (Section 8.2)", runAccuracy},
-		{"sec3", "Section 3.1.1: recovery cost model", runSec3},
-		{"sec4", "Section 4: register file port cost model", runSec4},
-		{"abl-fpc", "Ablation (beyond the paper): FPC vector strength sweep", runAblFPC},
-		{"abl-hist", "Ablation (beyond the paper): VTAGE max history length", runAblHist},
-		{"ext-pred", "Extension predictors (paper refs): PS and gDiff vs 2D-Str and VTAGE", runExtPredictors},
-		{"profile", "Workload characterization: mix, footprint, value locality", runProfile},
-		{"abl-loads", "Ablation (beyond the paper): all-uop VP vs loads-only VP", runAblLoads},
-		{"abl-width", "Ablation (beyond the paper): VP gain vs machine width", runAblWidth},
+		{"table1", "Table 1: predictor layout summary", nil, runTable1},
+		{"table2", "Table 2: simulator configuration", nil, runTable2},
+		{"table3", "Table 3: benchmarks (synthetic equivalents)", nil, runTable3},
+		{"fig1", "Fig. 1 motivation: back-to-back VP-eligible fetches", fig1Specs, runFig1},
+		{"fig3", "Fig. 3: speedup upper bound with a perfect predictor", fig3Specs, runFig3},
+		{"fig4", "Fig. 4: speedup, squash at commit (a: baseline counters, b: FPC)", Fig4Specs, runFig4},
+		{"fig5", "Fig. 5: speedup, selective reissue (a: baseline counters, b: FPC)", fig5Specs, runFig5},
+		{"fig6", "Fig. 6: VTAGE speedup and coverage, baseline vs FPC", fig6Specs, runFig6},
+		{"fig7", "Fig. 7: hybrid predictors, speedup and coverage (FPC, squash)", fig7Specs, runFig7},
+		{"acc", "Accuracy: baseline counters vs FPC (Section 8.2)", accSpecs, runAccuracy},
+		{"sec3", "Section 3.1.1: recovery cost model", nil, runSec3},
+		{"sec4", "Section 4: register file port cost model", nil, runSec4},
+		{"abl-fpc", "Ablation (beyond the paper): FPC vector strength sweep", ablBaselineSpecs, runAblFPC},
+		{"abl-hist", "Ablation (beyond the paper): VTAGE max history length", ablBaselineSpecs, runAblHist},
+		{"ext-pred", "Extension predictors (paper refs): PS and gDiff vs 2D-Str and VTAGE", extPredSpecs, runExtPredictors},
+		{"profile", "Workload characterization: mix, footprint, value locality", nil, runProfile},
+		{"abl-loads", "Ablation (beyond the paper): all-uop VP vs loads-only VP", ablLoadsSpecs, runAblLoads},
+		{"abl-width", "Ablation (beyond the paper): VP gain vs machine width", nil, runAblWidth},
 	}
+}
+
+// matrixSpecs declares the spec set of one speedup matrix: every kernel
+// under every predictor, plus the per-kernel baselines the speedups divide
+// by. Duplicates across matrices are deduplicated by the session memo.
+func matrixSpecs(preds []string, c Counters, rec pipeline.RecoveryMode) []Spec {
+	var out []Spec
+	for _, k := range KernelNames() {
+		out = append(out, Spec{Kernel: k, Predictor: "none", Recovery: rec})
+		for _, p := range preds {
+			out = append(out, Spec{Kernel: k, Predictor: p, Counters: c, Recovery: rec})
+		}
+	}
+	return out
+}
+
+func fig1Specs() []Spec {
+	return matrixSpecs(nil, BaselineCounters, pipeline.SquashAtCommit)
+}
+
+func fig3Specs() []Spec {
+	return matrixSpecs([]string{"oracle"}, BaselineCounters, pipeline.SquashAtCommit)
+}
+
+// Fig4Specs is exported as the canonical mid-size batch for scheduler tests
+// and benchmarks: 19 kernels x (4 predictors x 2 counter schemes + baseline).
+func Fig4Specs() []Spec {
+	out := matrixSpecs(singlePredictors, BaselineCounters, pipeline.SquashAtCommit)
+	return append(out, matrixSpecs(singlePredictors, FPC, pipeline.SquashAtCommit)...)
+}
+
+func fig5Specs() []Spec {
+	out := matrixSpecs(singlePredictors, BaselineCounters, pipeline.SelectiveReissue)
+	return append(out, matrixSpecs(singlePredictors, FPC, pipeline.SelectiveReissue)...)
+}
+
+func fig6Specs() []Spec {
+	var out []Spec
+	for _, k := range KernelNames() {
+		out = append(out,
+			Spec{Kernel: k, Predictor: "none"},
+			Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters},
+			Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
+	}
+	return out
+}
+
+func fig7Specs() []Spec {
+	return matrixSpecs(hybridPredictors, FPC, pipeline.SquashAtCommit)
+}
+
+func accSpecs() []Spec {
+	var out []Spec
+	for _, k := range KernelNames() {
+		for _, p := range singlePredictors {
+			out = append(out,
+				Spec{Kernel: k, Predictor: p, Counters: BaselineCounters},
+				Spec{Kernel: k, Predictor: p, Counters: FPC})
+		}
+	}
+	return out
+}
+
+// ablBaselineSpecs covers the memoized portion of the FPC and history-length
+// ablations; their custom-predictor runs go through RunCustom and are not
+// cacheable.
+func ablBaselineSpecs() []Spec {
+	var out []Spec
+	for _, k := range ablationKernels {
+		out = append(out, Spec{Kernel: k, Predictor: "none"})
+	}
+	return out
+}
+
+func extPredSpecs() []Spec {
+	return matrixSpecs([]string{"stride", "ps", "vtage", "gdiff"}, FPC, pipeline.SquashAtCommit)
+}
+
+func ablLoadsSpecs() []Spec {
+	var out []Spec
+	for _, k := range ablLoadsKernels {
+		out = append(out,
+			Spec{Kernel: k, Predictor: "none"},
+			Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC})
+	}
+	return out
 }
 
 // ExperimentByID returns the named experiment.
@@ -110,15 +202,20 @@ func runFig3(se *Session, w io.Writer) error {
 	return nil
 }
 
-// speedupMatrix renders one speedup table: kernels x predictors.
+// speedupMatrix renders one speedup table over every kernel.
 func speedupMatrix(se *Session, w io.Writer, preds []string, c Counters, rec pipeline.RecoveryMode) error {
+	return speedupMatrixOver(se, w, KernelNames(), preds, c, rec)
+}
+
+// speedupMatrixOver renders one speedup table: kernels x predictors.
+func speedupMatrixOver(se *Session, w io.Writer, kernels, preds []string, c Counters, rec pipeline.RecoveryMode) error {
 	fmt.Fprintf(w, "%-10s", "kernel")
 	for _, p := range preds {
 		fmt.Fprintf(w, " %12s", DisplayName(p))
 	}
 	fmt.Fprintln(w)
 	means := make([]float64, len(preds))
-	for _, k := range KernelNames() {
+	for _, k := range kernels {
 		fmt.Fprintf(w, "%-10s", k)
 		for i, p := range preds {
 			s, err := se.Speedup(Spec{Kernel: k, Predictor: p, Counters: c, Recovery: rec})
@@ -132,7 +229,7 @@ func speedupMatrix(se *Session, w io.Writer, preds []string, c Counters, rec pip
 	}
 	fmt.Fprintf(w, "%-10s", "amean")
 	for i := range preds {
-		fmt.Fprintf(w, " %12.3f", means[i]/float64(len(KernelNames())))
+		fmt.Fprintf(w, " %12.3f", means[i]/float64(len(kernels)))
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -267,12 +364,45 @@ func runSec4(se *Session, w io.Writer) error {
 	return nil
 }
 
-// RunAll executes every experiment into w, with headers.
-func RunAll(se *Session, w io.Writer) error {
-	for _, e := range Experiments() {
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+// Render batch-schedules an experiment's spec set across workers and writes
+// it to w in the requested format: "text" (the paper-style table), "json",
+// or "csv" (the structured Record layer). Experiments without a declared
+// spec set are text-only.
+func Render(se *Session, e Experiment, format string, workers int, w io.Writer) error {
+	switch format {
+	case "", "text":
+		if err := se.Prepare(e, workers); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
 		if err := e.Run(se, w); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return nil
+	case "json", "csv":
+		if e.Specs == nil {
+			return fmt.Errorf("%s: no structured results (text-only experiment)", e.ID)
+		}
+		recs, err := se.Records(e.Specs(), workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if format == "json" {
+			return WriteJSON(w, recs)
+		}
+		return WriteCSV(w, recs)
+	default:
+		return fmt.Errorf("harness: unknown format %q (have text, json, csv)", format)
+	}
+}
+
+// RunAllExperiments executes every experiment into w with headers,
+// batch-scheduling each experiment's pre-declared specs across workers
+// before rendering it.
+func RunAllExperiments(se *Session, w io.Writer, workers int) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		if err := Render(se, e, "text", workers, w); err != nil {
+			return err
 		}
 		fmt.Fprintln(w, strings.Repeat("-", 70))
 	}

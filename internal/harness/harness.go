@@ -1,13 +1,19 @@
 // Package harness runs the paper's experiments: it wires kernels, value
 // predictors, and machine configurations together, caches shared runs (the
 // baseline machine appears in every figure), and renders each table and
-// figure of the evaluation section as text. The per-experiment index lives
-// in DESIGN.md §5.
+// figure of the evaluation section as text, JSON, or CSV. The per-experiment
+// index lives in DESIGN.md §5.
+//
+// A Session is safe for concurrent use: trace generation and simulation
+// results are memoized behind a per-entry singleflight, so an identical Spec
+// requested from many goroutines is simulated exactly once. RunAll fans a
+// batch of specs out across a worker pool (see parallel.go).
 package harness
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -120,19 +126,46 @@ type Spec struct {
 	Recovery  pipeline.RecoveryMode
 }
 
+// Baseline returns the no-VP spec this spec's speedup is measured against:
+// same kernel and recovery mode, predictor "none".
+func (s Spec) Baseline() Spec {
+	return Spec{Kernel: s.Kernel, Predictor: "none", Recovery: s.Recovery}
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Spec  Spec
 	Stats pipeline.Stats
 }
 
-// Session runs experiments with shared settings and memoized results. The
-// zero value is not usable; construct with NewSession.
+// traceCall is a singleflight slot for one kernel's trace: the goroutine
+// that created the slot generates the trace; everyone else waits on done.
+type traceCall struct {
+	done chan struct{}
+	tr   []isa.DynInst
+	err  error
+}
+
+// runCall is the equivalent singleflight slot for one simulation result.
+type runCall struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Session runs experiments with shared settings and memoized results. It is
+// safe for concurrent use: identical Specs (and kernel traces) are simulated
+// exactly once even when requested from many goroutines. The zero value is
+// not usable; construct with NewSession.
 type Session struct {
 	Warmup  uint64
 	Measure uint64
-	traces  map[string][]isa.DynInst
-	memo    map[Spec]*Result
+
+	mu     sync.Mutex // guards the maps and counters; never held while simulating
+	traces map[string]*traceCall
+	memo   map[Spec]*runCall
+	hits   uint64 // Run lookups that joined an existing (possibly in-flight) entry
+	misses uint64 // Run lookups that started a simulation
 }
 
 // NewSession builds a session with the given measurement window, standing in
@@ -141,32 +174,61 @@ func NewSession(warmup, measure uint64) *Session {
 	return &Session{
 		Warmup:  warmup,
 		Measure: measure,
-		traces:  make(map[string][]isa.DynInst),
-		memo:    make(map[Spec]*Result),
+		traces:  make(map[string]*traceCall),
+		memo:    make(map[Spec]*runCall),
 	}
 }
 
 // DefaultSession sizes runs for interactive use (seconds per figure).
 func DefaultSession() *Session { return NewSession(50_000, 250_000) }
 
+// trace returns the kernel's instruction trace, generating it on first use.
+// Concurrent requests for the same kernel share one generation.
 func (se *Session) trace(kernel string) ([]isa.DynInst, error) {
-	if tr, ok := se.traces[kernel]; ok {
-		return tr, nil
+	se.mu.Lock()
+	c, ok := se.traces[kernel]
+	if ok {
+		se.mu.Unlock()
+		<-c.done
+		return c.tr, c.err
 	}
-	k, ok := kernels.ByName(kernel)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown kernel %q", kernel)
+	c = &traceCall{done: make(chan struct{})}
+	se.traces[kernel] = c
+	se.mu.Unlock()
+
+	if k, ok := kernels.ByName(kernel); ok {
+		c.tr = emu.Trace(k.Build(), int(se.Warmup+se.Measure))
+	} else {
+		c.err = fmt.Errorf("harness: unknown kernel %q", kernel)
 	}
-	tr := emu.Trace(k.Build(), int(se.Warmup+se.Measure))
-	se.traces[kernel] = tr
-	return tr, nil
+	close(c.done)
+	return c.tr, c.err
 }
 
-// Run simulates spec (memoized) and returns its result.
+// Run simulates spec (memoized) and returns its result. Concurrent calls
+// with the same spec share one simulation; errors are memoized too.
 func (se *Session) Run(spec Spec) (*Result, error) {
-	if r, ok := se.memo[spec]; ok {
-		return r, nil
+	se.mu.Lock()
+	c, ok := se.memo[spec]
+	if ok {
+		se.hits++
+		se.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
+	c = &runCall{done: make(chan struct{})}
+	se.memo[spec] = c
+	se.misses++
+	se.mu.Unlock()
+
+	c.res, c.err = se.simulate(spec)
+	close(c.done)
+	return c.res, c.err
+}
+
+// simulate performs one uncached run. The trace lookup is itself
+// singleflighted, so concurrent first runs of one kernel build its trace once.
+func (se *Session) simulate(spec Spec) (*Result, error) {
 	tr, err := se.trace(spec.Kernel)
 	if err != nil {
 		return nil, err
@@ -184,9 +246,16 @@ func (se *Session) Run(spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("%s/%s/%s/%s: %w",
 			spec.Kernel, spec.Predictor, spec.Counters, spec.Recovery, err)
 	}
-	r := &Result{Spec: spec, Stats: *st}
-	se.memo[spec] = r
-	return r, nil
+	return &Result{Spec: spec, Stats: *st}, nil
+}
+
+// MemoStats reports memo effectiveness: misses is the number of simulations
+// started, hits the number of lookups served from (or joined to) an existing
+// entry. hits+misses equals the total number of Run calls.
+func (se *Session) MemoStats() (hits, misses uint64) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.hits, se.misses
 }
 
 // Speedup returns the ratio of the spec's IPC to the baseline (no-VP)
@@ -196,7 +265,7 @@ func (se *Session) Speedup(spec Spec) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	base, err := se.Run(Spec{Kernel: spec.Kernel, Predictor: "none", Recovery: spec.Recovery})
+	base, err := se.Run(spec.Baseline())
 	if err != nil {
 		return 0, err
 	}
@@ -234,10 +303,12 @@ func KernelNames() []string { return kernels.Names() }
 
 // sortedSpecs is a test helper keeping memo iteration deterministic.
 func (se *Session) sortedSpecs() []Spec {
+	se.mu.Lock()
 	out := make([]Spec, 0, len(se.memo))
 	for s := range se.memo {
 		out = append(out, s)
 	}
+	se.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Kernel != b.Kernel {

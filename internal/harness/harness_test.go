@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -8,6 +9,16 @@ import (
 	"repro/internal/ghist"
 	"repro/internal/pipeline"
 )
+
+// testWindows sizes simulation windows for the test mode: full windows in
+// long mode carry the statistical claims; -short mode shrinks them 10x so
+// the suite stays fast while still exercising every code path.
+func testWindows(warmup, measure uint64) (uint64, uint64) {
+	if testing.Short() {
+		return warmup / 10, measure / 10
+	}
+	return warmup, measure
+}
 
 func TestNewPredictorAllNames(t *testing.T) {
 	for _, name := range PredictorNames {
@@ -74,6 +85,9 @@ func TestSessionMemoizes(t *testing.T) {
 	if len(se.sortedSpecs()) != 1 {
 		t.Errorf("memo holds %d specs, want 1", len(se.sortedSpecs()))
 	}
+	if hits, misses := se.MemoStats(); hits != 1 || misses != 1 {
+		t.Errorf("MemoStats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
 }
 
 func TestSessionUnknownKernel(t *testing.T) {
@@ -84,7 +98,7 @@ func TestSessionUnknownKernel(t *testing.T) {
 }
 
 func TestSpeedupOracleAtLeastOne(t *testing.T) {
-	se := NewSession(5_000, 30_000)
+	se := NewSession(testWindows(5_000, 30_000))
 	for _, k := range []string{"art", "hmmer"} {
 		s, err := se.Speedup(Spec{Kernel: k, Predictor: "oracle"})
 		if err != nil {
@@ -142,12 +156,21 @@ func TestKernelNamesComplete(t *testing.T) {
 
 // TestFig4ShapeHolds is the headline integration test: with FPC and
 // squash-at-commit, no kernel may lose more than a few percent, and the
-// predictable kernels must gain (the paper's core claim).
+// predictable kernels must gain (the paper's core claim). The whole batch is
+// fanned out across the worker pool; in -short mode the windows shrink and
+// only sanity (not the statistical shape) is asserted.
 func TestFig4ShapeHolds(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-heavy")
+	t.Parallel()
+	se := NewSession(testWindows(10_000, 40_000))
+	var specs []Spec
+	for _, k := range KernelNames() {
+		specs = append(specs,
+			Spec{Kernel: k, Predictor: "none"},
+			Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
 	}
-	se := NewSession(20_000, 80_000)
+	if _, err := se.RunAll(specs, 0); err != nil {
+		t.Fatal(err)
+	}
 	worst := 1.0
 	worstK := ""
 	for _, k := range KernelNames() {
@@ -155,9 +178,15 @@ func TestFig4ShapeHolds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if s <= 0 {
+			t.Fatalf("%s: degenerate speedup %v", k, s)
+		}
 		if s < worst {
 			worst, worstK = s, k
 		}
+	}
+	if testing.Short() {
+		return // windows too small for the statistical claims below
 	}
 	if worst < 0.93 {
 		t.Errorf("FPC VTAGE slows %s to %.3f; paper's claim is no significant slowdown", worstK, worst)
@@ -172,16 +201,26 @@ func TestFig4ShapeHolds(t *testing.T) {
 // with FPC, squash-at-commit performs on par with idealized selective
 // reissue.
 func TestRecoveryIrrelevantUnderFPC(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-heavy")
-	}
+	t.Parallel()
 	// Kernels with stable value streams, where FPC coverage converges for
 	// both probability vectors. On kernels with periodic value changes
 	// (e.g. parser) the 6-bit-equivalent reissue vector re-saturates sooner
 	// and earns extra coverage — an inherent property of the paper's
 	// vector-per-recovery pairing, documented in EXPERIMENTS.md.
-	se := NewSession(20_000, 80_000)
-	for _, k := range []string{"art", "gamess", "gzip"} {
+	se := NewSession(testWindows(10_000, 40_000))
+	kernels := []string{"art", "gamess", "gzip"}
+	var specs []Spec
+	for _, k := range kernels {
+		for _, rec := range []pipeline.RecoveryMode{pipeline.SquashAtCommit, pipeline.SelectiveReissue} {
+			specs = append(specs,
+				Spec{Kernel: k, Predictor: "none", Recovery: rec},
+				Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC, Recovery: rec})
+		}
+	}
+	if _, err := se.RunAll(specs, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kernels {
 		sq, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC, Recovery: pipeline.SquashAtCommit})
 		if err != nil {
 			t.Fatal(err)
@@ -189,6 +228,9 @@ func TestRecoveryIrrelevantUnderFPC(t *testing.T) {
 		re, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC, Recovery: pipeline.SelectiveReissue})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if testing.Short() {
+			continue // windows too small for the equivalence claim
 		}
 		if diff := sq/re - 1; diff < -0.10 || diff > 0.10 {
 			t.Errorf("%s: squash %.3f vs reissue %.3f differ by %.1f%%, want ≈ equal under FPC",
@@ -198,23 +240,46 @@ func TestRecoveryIrrelevantUnderFPC(t *testing.T) {
 }
 
 // TestAblationExperimentsRun exercises the beyond-the-paper runners with
-// small windows (rendering correctness, not statistical claims).
+// small windows (rendering correctness, not statistical claims). Rendering
+// goes through Render so the pre-declared spec batches are exercised too.
 func TestAblationExperimentsRun(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-heavy")
-	}
-	se := NewSession(2_000, 10_000)
+	t.Parallel()
+	se := NewSession(testWindows(1_000, 5_000))
 	for _, id := range []string{"abl-fpc", "abl-hist", "ext-pred", "profile", "abl-loads", "abl-width"} {
 		e, ok := ExperimentByID(id)
 		if !ok {
 			t.Fatalf("experiment %q missing", id)
 		}
 		var sb strings.Builder
-		if err := e.Run(se, &sb); err != nil {
+		if err := Render(se, e, "text", 0, &sb); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 		if len(sb.String()) < 80 {
 			t.Errorf("%s rendered only %d bytes", id, len(sb.String()))
+		}
+	}
+}
+
+// TestRenderFormats pins the Render contract: text-only experiments reject
+// structured formats, unknown formats are rejected, and a spec-bearing
+// experiment renders in all three formats.
+func TestRenderFormats(t *testing.T) {
+	se := NewSession(testWindows(1_000, 4_000))
+	table1, _ := ExperimentByID("table1")
+	if err := Render(se, table1, "json", 0, io.Discard); err == nil {
+		t.Error("json rendering of a text-only experiment accepted")
+	}
+	fig1, _ := ExperimentByID("fig1")
+	if err := Render(se, fig1, "bogus", 0, io.Discard); err == nil {
+		t.Error("unknown format accepted")
+	}
+	for _, format := range []string{"text", "json", "csv"} {
+		var sb strings.Builder
+		if err := Render(se, fig1, format, 0, &sb); err != nil {
+			t.Errorf("fig1 %s: %v", format, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("fig1 %s rendered nothing", format)
 		}
 	}
 }

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunAll simulates every spec across a pool of worker goroutines and returns
+// the results in spec order: results[i] always corresponds to specs[i],
+// regardless of completion order, so parallel scheduling never changes
+// rendered output. workers <= 0 selects GOMAXPROCS. Duplicate specs in the
+// batch are simulated once (the session memo singleflights them). On error
+// the first failure in spec order is returned; results holds every run that
+// did complete.
+func (se *Session) RunAll(specs []Spec, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]*Result, len(specs))
+	if len(specs) == 0 {
+		return results, nil
+	}
+	errs := make([]error, len(specs))
+	if workers <= 1 {
+		for i, s := range specs {
+			results[i], errs[i] = se.Run(s)
+		}
+		return results, firstError(errs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = se.Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// ParallelRun is the package-level form of Session.RunAll, for callers that
+// hold specs but not the session method chain.
+func ParallelRun(se *Session, specs []Spec, workers int) ([]*Result, error) {
+	return se.RunAll(specs, workers)
+}
+
+// Prepare batch-schedules an experiment's pre-declared spec set across the
+// worker pool so that rendering afterwards only hits warm memo entries.
+// Experiments without a declared spec set are a no-op.
+func (se *Session) Prepare(e Experiment, workers int) error {
+	if e.Specs == nil {
+		return nil
+	}
+	_, err := se.RunAll(e.Specs(), workers)
+	return err
+}
+
+// firstError returns the earliest non-nil error, keeping failure reporting
+// deterministic under parallel execution.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,7 +77,11 @@ func TestFuzzPipelineInvariants(t *testing.T) {
 				core.NewStride2D(10, core.FPCBaseline, 4))
 		},
 	}
-	for seed := int64(1); seed <= 6; seed++ {
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2 // two seeds still cross every predictor x recovery pair
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
 		tr := emu.Trace(randomProgram(seed), 20_000)
 		for pi, mk := range preds {
 			for _, rec := range []RecoveryMode{SquashAtCommit, SelectiveReissue} {
@@ -130,30 +134,34 @@ func TestStatsPartitionProperty(t *testing.T) {
 // TestOracleNeverSlower: on every kernel the oracle machine must commit the
 // same work in no more cycles than the baseline.
 func TestOracleNeverSlower(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-heavy")
-	}
+	w, m := testWin(5_000, 15_000)
 	for _, k := range kernelNames() {
-		base, err := NewForKernel(DefaultConfig(), k, 40_000, nil, nil)
+		base, err := NewForKernel(DefaultConfig(), k, int(w+m), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bst, err := base.Run(10_000, 30_000)
+		bst, err := base.Run(w, m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		h := &ghist.History{}
-		osim, err := NewForKernel(DefaultConfig(), k, 40_000, &core.Oracle{}, h)
+		osim, err := NewForKernel(DefaultConfig(), k, int(w+m), &core.Oracle{}, h)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ost, err := osim.Run(10_000, 30_000)
+		ost, err := osim.Run(w, m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Allow 2% slack for second-order effects (predictions change issue
-		// order, which can shift cache/DRAM interleaving slightly).
-		if ost.IPC() < bst.IPC()*0.98 {
+		// order, which can shift cache/DRAM interleaving slightly). The
+		// -short windows are too small to amortize cold caches, so they only
+		// smoke-test the path with a much looser bound.
+		slack := 0.98
+		if testing.Short() {
+			slack = 0.85
+		}
+		if ost.IPC() < bst.IPC()*slack {
 			t.Errorf("%s: oracle IPC %.3f below baseline %.3f", k, ost.IPC(), bst.IPC())
 		}
 	}

@@ -42,6 +42,16 @@ func serialChain() []isa.DynInst {
 	return emu.Trace(b.Program(), 60_000)
 }
 
+// testWin sizes simulation windows for the test mode: full in long mode,
+// a fifth in -short mode, keeping every path exercised while the suite
+// stays fast.
+func testWin(warmup, measure uint64) (uint64, uint64) {
+	if testing.Short() {
+		return warmup / 5, measure / 5
+	}
+	return warmup, measure
+}
+
 func runTrace(t *testing.T, tr []isa.DynInst, mk func(h *ghist.History) core.Predictor, rec RecoveryMode) *Stats {
 	t.Helper()
 	cfg := DefaultConfig()
@@ -52,7 +62,8 @@ func runTrace(t *testing.T, tr []isa.DynInst, mk func(h *ghist.History) core.Pre
 		p = mk(h)
 	}
 	s := New(cfg, tr, p, h)
-	st, err := s.Run(10_000, 40_000)
+	w, m := testWin(10_000, 40_000)
+	st, err := s.Run(w, m)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -74,8 +85,10 @@ func TestCommittedMatchesRequest(t *testing.T) {
 	st := runTrace(t, simpleLoop(), nil, SquashAtCommit)
 	// Commit is up to RetireWidth per cycle, so the final cycle may overshoot
 	// the requested total by at most RetireWidth-1.
-	if st.Committed < 50_000 || st.Committed >= 50_000+8 {
-		t.Errorf("Committed = %d, want 50000..50007", st.Committed)
+	w, m := testWin(10_000, 40_000)
+	want := w + m
+	if st.Committed < want || st.Committed >= want+8 {
+		t.Errorf("Committed = %d, want %d..%d", st.Committed, want, want+7)
 	}
 }
 
@@ -205,7 +218,8 @@ func TestMemoryOrderViolationAndLearning(t *testing.T) {
 	// No warmup: the first violation must be visible in the stats.
 	cfg := DefaultConfig()
 	s := New(cfg, storeLoadConflict(), nil, nil)
-	st, err := s.Run(0, 50_000)
+	_, m := testWin(0, 50_000)
+	st, err := s.Run(0, m)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -286,11 +300,12 @@ func TestAllKernelsSimulate(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			s, err := NewForKernel(DefaultConfig(), name, 30_000, nil, nil)
+			w, m := testWin(5_000, 25_000)
+			s, err := NewForKernel(DefaultConfig(), name, int(w+m), nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			st, err := s.Run(5_000, 25_000)
+			st, err := s.Run(w, m)
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}

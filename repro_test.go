@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,42 @@ func TestRunExperimentTable1(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 1 output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestSimulateWithWorkers(t *testing.T) {
+	// The Workers knob must not change results, only scheduling.
+	opts := Options{Kernel: "gzip", Predictor: "lvp", Counters: FPC,
+		Warmup: 1_000, Measure: 4_000}
+	seq, err := Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	par, err := Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("Workers changed the summary:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestRunExperimentOptsJSON(t *testing.T) {
+	var sb strings.Builder
+	opt := ExperimentOptions{Warmup: 500, Measure: 2_000, Workers: 4, Format: "json"}
+	if err := RunExperimentOpts("fig1", opt, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &recs); err != nil {
+		t.Fatalf("not a JSON array: %v", err)
+	}
+	if len(recs) != len(Kernels()) {
+		t.Errorf("got %d records, want %d", len(recs), len(Kernels()))
+	}
+	if err := RunExperimentOpts("table1", opt, &strings.Builder{}); err == nil {
+		t.Error("json format accepted for a text-only experiment")
 	}
 }
 
