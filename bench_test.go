@@ -8,7 +8,11 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/benchkit"
+	"repro/internal/emu"
 	"repro/internal/harness"
+	"repro/internal/kernels"
+	"repro/internal/pipeline"
 )
 
 const (
@@ -77,6 +81,8 @@ func BenchmarkSec4RegfileModel(b *testing.B) { benchExperiment(b, "sec4") }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (µops/s) of the
 // baseline machine on one kernel — the cost model for sizing experiments.
+// The per-iteration cost includes session construction and trace generation;
+// BenchmarkSteadyStateSimulate isolates the simulate loop itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		se := harness.NewSession(benchWarmup, benchMeasure)
@@ -85,4 +91,124 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchWarmup+benchMeasure), "uops/op")
+}
+
+// newSteadySim builds and warms a simulator over a long kernel trace for
+// steady-state measurement. The windows, predictor coverage and build logic
+// live in internal/benchkit, shared with cmd/bench so BENCH_*.json records
+// stay comparable to these benchmarks by construction.
+func newSteadySim(tb testing.TB, kernel, predictor string, traceUops int) (*pipeline.Sim, int) {
+	tb.Helper()
+	tr, err := benchkit.SteadyTrace(kernel, traceUops)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := benchkit.NewWarmSim(tr, predictor)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sim, len(tr)
+}
+
+// BenchmarkSteadyStateSimulate times the simulate loop alone — construction,
+// trace generation and warmup excluded — via repeated Sim.Advance chunks.
+// The ns/uop metric is this repo's primary hot-path trajectory number; run
+// cmd/bench to record it to a BENCH_*.json file.
+func BenchmarkSteadyStateSimulate(b *testing.B) {
+	for _, predictor := range benchkit.SteadyPredictors {
+		b.Run(predictor, func(b *testing.B) {
+			sim, traceLen := newSteadySim(b, "gzip", predictor, benchkit.TraceUops)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sim.Stats().Committed+benchkit.Chunk > uint64(traceLen) {
+					b.StopTimer()
+					sim, _ = newSteadySim(b, "gzip", predictor, benchkit.TraceUops)
+					b.StartTimer()
+				}
+				if _, err := sim.Advance(benchkit.Chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/benchkit.Chunk, "ns/uop")
+		})
+	}
+}
+
+// TestSteadyStateSimulateZeroAllocs is the allocation regression gate for
+// the simulate loop: once the machine is warm, advancing it must not
+// allocate — for the baseline machine or for any steady predictor
+// configuration, on more than one kernel, and deep into the trace (late
+// phases churn the predictors' per-PC speculative windows in ways the first
+// hundred-k µops never do). AllocsPerRun(1, ...) is deliberate: with a
+// single run its integer average cannot absorb stray allocations.
+func TestSteadyStateSimulateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs full warmup windows")
+	}
+	// Trace budget: 30k warmup + 250k pre-advance + 2×200k probe (AllocsPerRun
+	// runs the closure once extra as its own warm-up) = 680k, with headroom so
+	// the measured window never hits fetch-exhausted drain at the trace end.
+	const (
+		traceUops  = 1_000_000
+		preAdvance = 250_000
+		probeUops  = 200_000
+	)
+	for _, kernel := range []string{"gzip", "art"} {
+		for _, predictor := range benchkit.SteadyPredictors {
+			t.Run(kernel+"/"+predictor, func(t *testing.T) {
+				sim, _ := newSteadySim(t, kernel, predictor, traceUops)
+				// Drive deep into the trace before measuring, then measure
+				// a long window so phase changes are covered.
+				if _, err := sim.Advance(preAdvance); err != nil {
+					t.Fatal(err)
+				}
+				allocs := testing.AllocsPerRun(1, func() {
+					if _, err := sim.Advance(probeUops); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs > 0 {
+					t.Errorf("steady-state simulate loop allocates: %.0f allocs per %dk-uop advance",
+						allocs, probeUops/1000)
+				}
+				if got := sim.Stats().Committed; got < 30_000+preAdvance+2*probeUops {
+					t.Fatalf("probe ran into the trace end: only %d uops committed", got)
+				}
+			})
+		}
+	}
+}
+
+// TestAdvanceContinuesRun pins the Advance contract the bench layer depends
+// on: committing exactly n more µops (modulo retire-width overshoot) without
+// restarting the machine.
+func TestAdvanceContinuesRun(t *testing.T) {
+	k, _ := kernels.ByName("gzip")
+	tr := emu.Trace(k.Build(), 60_000)
+	sim := pipeline.New(pipeline.DefaultConfig(), tr, nil, nil)
+	st, err := sim.Run(5_000, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Committed
+	cyclesBefore := st.Cycles
+	st, err = sim.Advance(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Committed - before; got < 10_000 || got >= 10_000+uint64(pipeline.DefaultConfig().RetireWidth) {
+		t.Errorf("Advance(10k) committed %d more uops", got)
+	}
+	if st.Cycles <= cyclesBefore {
+		t.Error("Advance did not make cycle progress")
+	}
+	// Capped at trace end: a huge advance drains the trace and stops.
+	st, err = sim.Advance(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != uint64(len(tr)) {
+		t.Errorf("Advance past trace end committed %d, want %d", st.Committed, len(tr))
+	}
 }

@@ -1,0 +1,267 @@
+// Command bench measures the simulator's hot-path performance and writes a
+// machine-readable BENCH_<label>.json record (DESIGN.md §5.4), giving every
+// PR a trajectory to beat. Three measurements are taken:
+//
+//   - steady: ns/µop and allocs/µop of the simulate loop alone, via repeated
+//     Sim.Advance chunks on a warm machine (construction, trace generation
+//     and warmup excluded), per predictor configuration;
+//   - fig4 at one worker: wall-clock of the full Fig. 4 spec batch run
+//     sequentially — the single-thread throughput headline number;
+//   - fig4 parallel: the same batch across the worker pool.
+//
+// Pass -before to embed a prior record and report speedups against it:
+//
+//	go run ./cmd/bench -label pr2 -before BENCH_seed.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/harness"
+)
+
+// SteadyResult is the per-predictor steady-state measurement.
+type SteadyResult struct {
+	Predictor    string  `json:"predictor"`
+	NsPerUop     float64 `json:"ns_per_uop"`
+	AllocsPerUop float64 `json:"allocs_per_uop"`
+	UopsPerSec   float64 `json:"uops_per_sec"`
+}
+
+// Fig4Result is the Fig. 4 batch wall-clock measurement.
+type Fig4Result struct {
+	Specs           int     `json:"specs"`
+	Warmup          uint64  `json:"warmup_uops"`
+	Measure         uint64  `json:"measure_uops"`
+	UopsTotal       uint64  `json:"uops_total"`
+	WallSeconds1W   float64 `json:"wall_s_1_worker"`
+	UopsPerSec1W    float64 `json:"uops_per_sec_1_worker"`
+	WallSecondsPar  float64 `json:"wall_s_parallel"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// Record is the full benchmark record written to BENCH_<label>.json.
+type Record struct {
+	Label       string             `json:"label"`
+	CreatedUnix int64              `json:"created_unix"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Note        string             `json:"note,omitempty"`
+	Steady      []SteadyResult     `json:"steady,omitempty"`
+	Fig4        *Fig4Result        `json:"fig4,omitempty"`
+	Before      *Record            `json:"before,omitempty"`
+	Speedups    map[string]float64 `json:"speedup_vs_before,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "dev", "record label; output file is BENCH_<label>.json")
+	outDir := flag.String("out", ".", "output directory")
+	before := flag.String("before", "", "prior BENCH_*.json to embed and compare against")
+	kernel := flag.String("kernel", "gzip", "kernel for the steady-state measurement")
+	warmup := flag.Uint64("warmup", 20_000, "fig4 warmup µops per simulation")
+	measure := flag.Uint64("measure", 80_000, "fig4 measured µops per simulation")
+	workers := flag.Int("workers", 0, "parallel fig4 workers (<=0: GOMAXPROCS)")
+	quick := flag.Bool("quick", false, "shrink windows for a fast smoke record (CI)")
+	flag.Parse()
+
+	if *quick {
+		*warmup, *measure = 5_000, 20_000
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	rec := &Record{
+		Label:       *label,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: steady-state simulate loop on %q\n", *kernel)
+	for _, p := range benchkit.SteadyPredictors {
+		sr, err := measureSteady(*kernel, p, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %7.1f ns/uop  %6.4f allocs/uop  %9.0f uops/s\n",
+			p, sr.NsPerUop, sr.AllocsPerUop, sr.UopsPerSec)
+		rec.Steady = append(rec.Steady, sr)
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: fig4 batch (%d+%d µops per sim)\n", *warmup, *measure)
+	f4, err := measureFig4(*warmup, *measure, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs at 1 worker (%.0f uops/s), %.2fs at %d workers (%.2fx)\n",
+		f4.Specs, f4.WallSeconds1W, f4.UopsPerSec1W, f4.WallSecondsPar, f4.ParallelWorkers, f4.ParallelSpeedup)
+	rec.Fig4 = &f4
+
+	if *before != "" {
+		prev, err := loadRecord(*before)
+		if err != nil {
+			fatal(err)
+		}
+		prev.Before = nil // keep records one level deep
+		rec.Before = prev
+		rec.Speedups = speedups(rec, prev)
+		for k, v := range rec.Speedups {
+			fmt.Fprintf(os.Stderr, "  speedup vs %s: %s = %.2fx\n", prev.Label, k, v)
+		}
+	}
+
+	out := filepath.Join(*outDir, "BENCH_"+*label+".json")
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+// measureSteady times Sim.Advance chunks on a warm machine and counts
+// steady-state allocations, mirroring BenchmarkSteadyStateSimulate — the
+// windows, predictor coverage and build logic are shared through
+// internal/benchkit. The allocation probe runs after the timing rounds, deep
+// in the trace, where per-PC speculative-window churn would show up.
+func measureSteady(kernel, predictor string, quick bool) (SteadyResult, error) {
+	traceUops, chunk, rounds := benchkit.TraceUops, uint64(benchkit.Chunk), 20
+	allocProbe := uint64(200_000)
+	if quick {
+		traceUops, rounds, allocProbe = 400_000, 5, 50_000
+	}
+	tr, err := benchkit.SteadyTrace(kernel, traceUops)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+
+	sim, err := benchkit.NewWarmSim(tr, predictor)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	var elapsed time.Duration
+	var uops uint64
+	for i := 0; i < rounds; i++ {
+		if sim.Stats().Committed+chunk > uint64(len(tr)) {
+			if sim, err = benchkit.NewWarmSim(tr, predictor); err != nil {
+				return SteadyResult{}, err
+			}
+		}
+		beforeC := sim.Stats().Committed
+		start := time.Now()
+		if _, err := sim.Advance(chunk); err != nil {
+			return SteadyResult{}, err
+		}
+		elapsed += time.Since(start)
+		uops += sim.Stats().Committed - beforeC
+	}
+
+	if sim.Stats().Committed+allocProbe > uint64(len(tr)) {
+		if sim, err = benchkit.NewWarmSim(tr, predictor); err != nil {
+			return SteadyResult{}, err
+		}
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := sim.Advance(allocProbe); err != nil {
+			panic(err)
+		}
+	})
+
+	ns := float64(elapsed.Nanoseconds()) / float64(uops)
+	return SteadyResult{
+		Predictor:    predictor,
+		NsPerUop:     ns,
+		AllocsPerUop: allocs / float64(allocProbe),
+		UopsPerSec:   1e9 / ns,
+	}, nil
+}
+
+// measureFig4 runs the full Fig. 4 spec batch sequentially and in parallel.
+// The declared spec list repeats per-kernel baselines across its two counter
+// halves; duplicates are removed so uops_total counts real simulations (the
+// session memo would dedupe them at run time anyway).
+func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
+	var specs []harness.Spec
+	seen := map[harness.Spec]bool{}
+	for _, sp := range harness.Fig4Specs() {
+		if !seen[sp] {
+			seen[sp] = true
+			specs = append(specs, sp)
+		}
+	}
+	perSim := warmup + measure
+
+	start := time.Now()
+	if _, err := harness.NewSession(warmup, measure).RunAll(specs, 1); err != nil {
+		return Fig4Result{}, err
+	}
+	seq := time.Since(start).Seconds()
+
+	start = time.Now()
+	if _, err := harness.NewSession(warmup, measure).RunAll(specs, workers); err != nil {
+		return Fig4Result{}, err
+	}
+	par := time.Since(start).Seconds()
+
+	total := uint64(len(specs)) * perSim
+	return Fig4Result{
+		Specs:           len(specs),
+		Warmup:          warmup,
+		Measure:         measure,
+		UopsTotal:       total,
+		WallSeconds1W:   seq,
+		UopsPerSec1W:    float64(total) / seq,
+		WallSecondsPar:  par,
+		ParallelWorkers: workers,
+		ParallelSpeedup: seq / par,
+	}, nil
+}
+
+// speedups compares the headline numbers of two records. Steady comparisons
+// match by predictor name; fig4 compares effective single-thread µops/s.
+func speedups(cur, prev *Record) map[string]float64 {
+	out := map[string]float64{}
+	prevSteady := map[string]SteadyResult{}
+	for _, s := range prev.Steady {
+		prevSteady[s.Predictor] = s
+	}
+	for _, s := range cur.Steady {
+		if p, ok := prevSteady[s.Predictor]; ok && s.NsPerUop > 0 {
+			out["steady_"+s.Predictor] = p.NsPerUop / s.NsPerUop
+		}
+	}
+	if cur.Fig4 != nil && prev.Fig4 != nil && prev.Fig4.UopsPerSec1W > 0 {
+		out["fig4_single_thread"] = cur.Fig4.UopsPerSec1W / prev.Fig4.UopsPerSec1W
+	}
+	return out
+}
+
+func loadRecord(path string) (*Record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -65,10 +65,10 @@ func TestRunCSVHasHeaderAndRows(t *testing.T) {
 
 func TestBadInvocations(t *testing.T) {
 	cases := [][]string{
-		{"-run", "fig99"},                  // unknown id
-		{"-all", "-format", "json"},        // -all is text-only
-		{},                                 // no action
-		{"-bogusflag"},                     // parse error
+		{"-run", "fig99"},           // unknown id
+		{"-all", "-format", "json"}, // -all is text-only
+		{},                          // no action
+		{"-bogusflag"},              // parse error
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	vpsim -kernel art -pred vtage+stride -counters fpc -recovery squash
+//
+// Profiling the simulator (see README.md "Profiling the hot path"):
+//
+//	vpsim -kernel gzip -pred none -measure 2000000 -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof -top cpu.prof
 package main
 
 import (
@@ -12,11 +17,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro"
 )
 
+// main only parses flags and exits; run does the work and returns the exit
+// code, so profile-flushing defers always execute even on failures.
 func main() {
 	kernel := flag.String("kernel", "art", "kernel to simulate (see -list)")
 	pred := flag.String("pred", "vtage", "value predictor: "+strings.Join(repro.Predictors(), ", "))
@@ -27,6 +36,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text or json")
 	list := flag.Bool("list", false, "list kernels and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile after the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -66,22 +77,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	os.Exit(run(opts, *counters, *recovery, *format, *cpuprofile, *memprofile))
+}
+
+func run(opts repro.Options, counters, recovery, format, cpuprofile, memprofile string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		return 1
+	}
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		// Written after the run (LIFO before StopCPUProfile is fine: heap
+		// accounting is independent of the CPU profile).
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vpsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle accounting so the profile shows live + total allocation
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vpsim:", err)
+			}
+		}()
+	}
+
 	s, err := repro.Simulate(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vpsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	if *format == "json" {
+	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s); err != nil {
-			fmt.Fprintln(os.Stderr, "vpsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	fmt.Printf("kernel      %s\n", s.Kernel)
-	fmt.Printf("predictor   %s (%s counters, %s recovery)\n", s.Predictor, *counters, *recovery)
+	fmt.Printf("predictor   %s (%s counters, %s recovery)\n", s.Predictor, counters, recovery)
 	fmt.Printf("IPC         %.3f\n", s.IPC)
 	fmt.Printf("speedup     %.3f (vs no value prediction)\n", s.Speedup)
 	fmt.Printf("coverage    %.1f%%\n", 100*s.Coverage)
@@ -91,4 +137,5 @@ func main() {
 		st.SquashValue, st.SquashBranch, st.SquashMemOrder, st.ReissuedUops)
 	fmt.Printf("branches    %.2f MPKI\n", st.BranchMPKI())
 	fmt.Printf("back-to-back eligible fetches: %.1f%%\n", 100*st.B2BFraction())
+	return 0
 }

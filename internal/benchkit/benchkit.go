@@ -1,0 +1,57 @@
+// Package benchkit is the shared steady-state measurement substrate behind
+// the root benchmarks (bench_test.go) and cmd/bench (DESIGN.md §5.4). Both
+// measure the same thing — the warm simulate loop, free of construction,
+// trace generation and cold-start effects — so the window constants, the
+// predictor coverage, and the build-warm helper live here once; BENCH_*.json
+// records stay comparable to `go test -bench` numbers by construction.
+package benchkit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/ghist"
+	"repro/internal/harness"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/pipeline"
+)
+
+// Steady-state measurement windows: warm past cold caches and cold
+// predictor tables, then measure fixed Advance chunks of the running
+// machine.
+const (
+	TraceUops = 1_500_000 // default trace length for timing runs
+	WarmUops  = 30_000    // Run(WarmUops, 0) before any measurement
+	Chunk     = 10_000    // µops per timed Advance
+)
+
+// SteadyPredictors are the configurations every steady-state measurement
+// and the zero-allocation gate cover: the baseline machine, each
+// single-scheme predictor of the paper's figures, and the headline hybrid.
+var SteadyPredictors = []string{"none", "lvp", "stride", "fcm", "vtage", "vtage+stride"}
+
+// SteadyTrace builds the dynamic trace for kernel, uops long.
+func SteadyTrace(kernel string, uops int) ([]isa.DynInst, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("benchkit: unknown kernel %q", kernel)
+	}
+	return emu.Trace(k.Build(), uops), nil
+}
+
+// NewWarmSim builds a simulator for the named predictor over tr and runs it
+// through the warmup window, leaving it ready for timed Advance calls.
+func NewWarmSim(tr []isa.DynInst, predictor string) (*pipeline.Sim, error) {
+	h := &ghist.History{}
+	pred, err := harness.NewPredictor(predictor, core.FPCCommit, h)
+	if err != nil {
+		return nil, err
+	}
+	sim := pipeline.New(pipeline.DefaultConfig(), tr, pred, h)
+	if _, err := sim.Run(WarmUops, 0); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}

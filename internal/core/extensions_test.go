@@ -38,7 +38,7 @@ func TestPSDistinguishesStridesByPath(t *testing.T) {
 			delta = 1
 		}
 		v += delta
-		m := p.Predict(42)
+		m := predict(p, 42)
 		m.Seq = uint64(i)
 		p.FeedSpec(42, v, uint64(i))
 		if i >= n-tail && m.Conf {
@@ -62,7 +62,7 @@ func TestPSSquashAndStorage(t *testing.T) {
 	p := NewPS(10, 10, FPCBaseline, 1, &h)
 	p.FeedSpec(1, 5, 10)
 	p.Squash(10)
-	if m := p.Predict(1); m.Conf {
+	if m := predict(p, 1); m.Conf {
 		t.Error("fresh PS confident")
 	}
 	if p.StorageBits() <= 0 {
@@ -84,7 +84,7 @@ func driveGDiff(p *GDiff, n, tail int, delta Value) (confCorrect, confWrong int)
 	for i := 0; i < n; i++ {
 		// Instruction A produces an erratic value.
 		x = x*6364136223846793005 + 1442695040888963407
-		ma := p.Predict(10)
+		ma := predict(p, 10)
 		ma.Seq = seq
 		p.FeedSpec(10, x, seq)
 		p.Train(10, x, &ma)
@@ -92,7 +92,7 @@ func driveGDiff(p *GDiff, n, tail int, delta Value) (confCorrect, confWrong int)
 
 		// Instruction B produces A's result plus delta.
 		want := x + delta
-		mb := p.Predict(20)
+		mb := predict(p, 20)
 		mb.Seq = seq
 		if mb.Conf && i >= n-tail {
 			if mb.Pred == want {
@@ -127,7 +127,7 @@ func TestLVPCannotCaptureGlobalStride(t *testing.T) {
 	confident := 0
 	for i := 0; i < 500; i++ {
 		x = x*6364136223846793005 + 1442695040888963407
-		m := p.Predict(20)
+		m := predict(p, 20)
 		if m.Conf {
 			confident++
 		}

@@ -25,6 +25,11 @@ type FCM struct {
 	conf  *Confidence
 	mask  uint64
 	spec  map[uint64]*fcmWindow
+
+	// histBuf is the reusable speculative-history scratch for effHist; the
+	// predictor is single-threaded by contract, so one buffer suffices and
+	// Predict stays allocation-free.
+	histBuf []uint16
 }
 
 type fcmVHTEntry struct {
@@ -57,14 +62,23 @@ const fcmTagBits = 51
 // The paper's o4-FCM is order 4 with 8K+8K entries.
 func NewFCM(order, logEntries int, vec FPCVector, seed uint32) *FCM {
 	n := 1 << logEntries
-	return &FCM{
-		order: order,
-		vht:   make([]fcmVHTEntry, n),
-		vpt:   make([]fcmVPTEntry, n),
-		conf:  NewConfidence(vec, seed),
-		mask:  uint64(n - 1),
-		spec:  make(map[uint64]*fcmWindow),
+	p := &FCM{
+		order:   order,
+		vht:     make([]fcmVHTEntry, n),
+		vpt:     make([]fcmVPTEntry, n),
+		conf:    NewConfidence(vec, seed),
+		mask:    uint64(n - 1),
+		spec:    make(map[uint64]*fcmWindow),
+		histBuf: make([]uint16, 0, order),
 	}
+	// One flat backing array for every VHT history window: entries reset on
+	// tag replacement by clearing their fixed slice in place, so the simulate
+	// loop never allocates for VHT turnover.
+	back := make([]uint16, n*order)
+	for i := range p.vht {
+		p.vht[i].hist = back[i*order : (i+1)*order : (i+1)*order]
+	}
+	return p
 }
 
 // fold16 compresses a 64-bit value to 16 bits by folding it onto itself.
@@ -87,10 +101,12 @@ func (p *FCM) vptIndex(pc uint64, hist []uint16) uint64 {
 	return (idx ^ hashPC(pc)) & p.mask
 }
 
-// effHist builds the speculative history view for pc: the newest in-flight
-// folded values first, then committed history, order deep.
+// effHist builds the speculative history view for pc into the predictor's
+// reusable scratch buffer: the newest in-flight folded values first, then
+// committed history, order deep. The returned slice aliases histBuf and is
+// only valid until the next call.
 func (p *FCM) effHist(e *fcmVHTEntry, w *fcmWindow) []uint16 {
-	hist := make([]uint16, 0, p.order)
+	hist := p.histBuf[:0]
 	if w != nil {
 		for i := len(w.vals) - 1; i >= 0 && len(hist) < p.order; i-- {
 			hist = append(hist, w.vals[i].fold)
@@ -103,18 +119,19 @@ func (p *FCM) effHist(e *fcmVHTEntry, w *fcmWindow) []uint16 {
 }
 
 // Predict implements Predictor.
-func (p *FCM) Predict(pc uint64) Meta {
+func (p *FCM) Predict(pc uint64, m *Meta) {
+	*m = Meta{}
 	e, tag := p.slot(pc)
 	if !e.ok || e.tag != tag {
-		return Meta{}
+		return
 	}
 	idx := p.vptIndex(pc, p.effHist(e, p.spec[pc]))
 	pred := p.vpt[idx].val
-	m := Meta{Pred: pred, Conf: Saturated(e.c)}
+	m.Pred = pred
+	m.Conf = Saturated(e.c)
 	m.C1.Pred = pred
 	m.C1.Conf = m.Conf
 	m.C1.Idx[0] = uint32(idx)
-	return m
 }
 
 // FeedSpec implements SpecFeeder: records the speculative value of the
@@ -133,19 +150,28 @@ func (p *FCM) FeedSpec(pc uint64, v Value, seq uint64) {
 
 // Train implements Predictor.
 func (p *FCM) Train(pc uint64, actual Value, m *Meta) {
+	// Consume the in-flight window through this occurrence, compacting in
+	// place. A drained window stays in the map: empty predicts identically
+	// to absent, and keeping it preserves capacity so the steady state
+	// never reallocates it.
 	if w := p.spec[pc]; w != nil {
 		i := 0
 		for i < len(w.vals) && w.vals[i].seq <= m.Seq {
 			i++
 		}
-		w.vals = w.vals[i:]
-		if len(w.vals) == 0 {
-			delete(p.spec, pc)
+		if i > 0 {
+			n := copy(w.vals, w.vals[i:])
+			w.vals = w.vals[:n]
 		}
 	}
 	e, tag := p.slot(pc)
 	if !e.ok || e.tag != tag {
-		*e = fcmVHTEntry{tag: tag, hist: make([]uint16, p.order), ok: true}
+		// Tag replacement reuses the entry's fixed history slice (backed by
+		// the flat array built in NewFCM) instead of allocating a fresh one.
+		e.tag = tag
+		e.c = 0
+		e.ok = true
+		clear(e.hist)
 		p.pushHist(e, actual)
 		return
 	}
@@ -174,14 +200,12 @@ func (p *FCM) pushHist(e *fcmVHTEntry, actual Value) {
 }
 
 // Squash implements Predictor: in-flight history elements at or after
-// fromSeq are discarded; older in-flight elements survive.
+// fromSeq are discarded; older in-flight elements survive. Drained windows
+// are kept (see Train).
 func (p *FCM) Squash(fromSeq uint64) {
-	for pc, w := range p.spec {
+	for _, w := range p.spec {
 		for len(w.vals) > 0 && w.vals[len(w.vals)-1].seq >= fromSeq {
 			w.vals = w.vals[:len(w.vals)-1]
-		}
-		if len(w.vals) == 0 {
-			delete(p.spec, pc)
 		}
 	}
 }

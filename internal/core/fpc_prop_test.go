@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFPCTransitionFrequencies is the seeded-LFSR property test for forward
+// probabilistic counters: for every state of every paper vector, the
+// empirical frequency of the forward transition must match the vector's
+// probability 2^-v[i] within binomial-noise tolerance. This pins both the
+// vectors themselves (Section 5) and the LFSR's suitability as their
+// randomness source — a biased or correlated generator would silently change
+// the effective counter width.
+func TestFPCTransitionFrequencies(t *testing.T) {
+	const trials = 200_000
+	vectors := map[string]FPCVector{
+		"baseline": FPCBaseline,
+		"commit":   FPCCommit,
+		"reissue":  FPCReissue,
+	}
+	for name, vec := range vectors {
+		c := NewConfidence(vec, 0xBEEF)
+		for state := uint8(0); state < ConfMax; state++ {
+			want := 1.0 / float64(uint64(1)<<vec[state])
+			taken := 0
+			for i := 0; i < trials; i++ {
+				if c.Bump(state) == state+1 {
+					taken++
+				}
+			}
+			got := float64(taken) / trials
+			// Tolerance: 6 binomial standard deviations plus a small absolute
+			// floor; deterministic because the LFSR seed is fixed.
+			sigma := math.Sqrt(want * (1 - want) / trials)
+			tol := 6*sigma + 1e-9
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s vector, state %d: forward frequency %.5f, want %.5f ± %.5f",
+					name, state, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestFPCSaturatedStateAbsorbs pins the automaton's endpoints: Bump saturates
+// at ConfMax and stays there.
+func TestFPCSaturatedStateAbsorbs(t *testing.T) {
+	c := NewConfidence(FPCCommit, 1)
+	for i := 0; i < 1000; i++ {
+		if got := c.Bump(ConfMax); got != ConfMax {
+			t.Fatalf("Bump(ConfMax) = %d", got)
+		}
+	}
+}
+
+// TestFPCExpectedStreakMatchesEmpirical checks that the expected number of
+// consecutive correct predictions to saturate from zero matches the
+// analytical ExpectedStreak value (≈128 for the commit vector, ≈64 for
+// reissue, exactly 7 for baseline) within 5%.
+func TestFPCExpectedStreakMatchesEmpirical(t *testing.T) {
+	const runs = 20_000
+	for _, tc := range []struct {
+		name string
+		vec  FPCVector
+	}{
+		{"baseline", FPCBaseline},
+		{"commit", FPCCommit},
+		{"reissue", FPCReissue},
+	} {
+		c := NewConfidence(tc.vec, 0xACE1)
+		total := 0
+		for r := 0; r < runs; r++ {
+			ctr := uint8(0)
+			steps := 0
+			for ctr < ConfMax {
+				ctr = c.Bump(ctr)
+				steps++
+			}
+			total += steps
+		}
+		got := float64(total) / runs
+		want := float64(tc.vec.ExpectedStreak())
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: empirical streak to saturation %.2f, analytical %v", tc.name, got, want)
+		}
+	}
+}

@@ -62,23 +62,20 @@ func (p *GDiff) snapshot(out *[gdiffDepth]Value) {
 }
 
 // Predict implements Predictor. The fetch-time global history snapshot is
-// stashed in the Meta (distances 1..n map to GVH slots 0..n-1).
-func (p *GDiff) Predict(pc uint64) Meta {
-	var m Meta
-	var snap [gdiffDepth]Value
-	p.snapshot(&snap)
-	// Abuse of CompMeta capacity would be too small for 8 values; Meta
-	// carries them in the dedicated GVH field.
-	m.GVH = snap
+// stashed in the Meta (distances 1..n map to GVH slots 0..n-1); CompMeta
+// would be too small for 8 values, so Meta carries them in the dedicated GVH
+// field, written in place.
+func (p *GDiff) Predict(pc uint64, m *Meta) {
+	*m = Meta{}
+	p.snapshot(&m.GVH)
 	e, tag := p.slot(pc)
 	if !e.ok || e.tag != tag || e.dist == 0 {
-		return m
+		return
 	}
-	m.Pred = snap[e.dist-1] + Value(e.stride)
+	m.Pred = m.GVH[e.dist-1] + Value(e.stride)
 	m.Conf = Saturated(e.c)
 	m.C1.Pred = m.Pred
 	m.C1.Conf = m.Conf
-	return m
 }
 
 // FeedSpec implements SpecFeeder: every fetched occurrence's value enters

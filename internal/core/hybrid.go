@@ -9,6 +9,12 @@ package core
 type Hybrid struct {
 	a, b Predictor
 	name string
+
+	// Reusable per-call scratch Metas. Locals passed to an interface method
+	// escape to the heap on every call; predictors are single-threaded by
+	// contract, so the hybrid keeps its component payloads here instead.
+	ma, mb Meta // Predict scratch
+	ta, tb Meta // Train scratch
 }
 
 // NewHybrid combines two predictors. By the paper's convention the
@@ -19,10 +25,11 @@ func NewHybrid(a, b Predictor) *Hybrid {
 }
 
 // Predict implements Predictor.
-func (p *Hybrid) Predict(pc uint64) Meta {
-	ma := p.a.Predict(pc)
-	mb := p.b.Predict(pc)
-	m := Meta{C1: ma.C1, C2: mb.C1}
+func (p *Hybrid) Predict(pc uint64, m *Meta) {
+	p.a.Predict(pc, &p.ma)
+	p.b.Predict(pc, &p.mb)
+	ma, mb := &p.ma, &p.mb
+	*m = Meta{C1: ma.C1, C2: mb.C1}
 
 	switch {
 	case ma.Conf && mb.Conf:
@@ -41,8 +48,6 @@ func (p *Hybrid) Predict(pc uint64) Meta {
 	default:
 		m.Pred = ma.Pred
 	}
-
-	return m
 }
 
 // FeedSpec implements SpecFeeder by forwarding the speculative occurrence to
@@ -61,10 +66,10 @@ func (p *Hybrid) FeedSpec(pc uint64, v Value, seq uint64) {
 // Train implements Predictor: when an instruction retires, all components
 // are updated with the committed value.
 func (p *Hybrid) Train(pc uint64, actual Value, m *Meta) {
-	ma := Meta{Seq: m.Seq, Pred: m.C1.Pred, Conf: m.C1.Conf, C1: m.C1}
-	mb := Meta{Seq: m.Seq, Pred: m.C2.Pred, Conf: m.C2.Conf, C1: m.C2}
-	p.a.Train(pc, actual, &ma)
-	p.b.Train(pc, actual, &mb)
+	p.ta = Meta{Seq: m.Seq, Pred: m.C1.Pred, Conf: m.C1.Conf, C1: m.C1}
+	p.tb = Meta{Seq: m.Seq, Pred: m.C2.Pred, Conf: m.C2.Conf, C1: m.C2}
+	p.a.Train(pc, actual, &p.ta)
+	p.b.Train(pc, actual, &p.tb)
 }
 
 // Squash implements Predictor.

@@ -38,15 +38,16 @@ func (p *LVP) slot(pc uint64) (*lvpEntry, uint64) {
 }
 
 // Predict implements Predictor.
-func (p *LVP) Predict(pc uint64) Meta {
+func (p *LVP) Predict(pc uint64, m *Meta) {
+	*m = Meta{}
 	e, tag := p.slot(pc)
 	if !e.ok || e.tag != tag {
-		return Meta{}
+		return
 	}
-	m := Meta{Pred: e.val, Conf: Saturated(e.c)}
+	m.Pred = e.val
+	m.Conf = Saturated(e.c)
 	m.C1.Pred = e.val
 	m.C1.Conf = m.Conf
-	return m
 }
 
 // Train implements Predictor. LVP always records the committed value as the

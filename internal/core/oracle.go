@@ -11,11 +11,10 @@ type Oracle struct {
 func (p *Oracle) FeedActual(v Value) { p.next = v }
 
 // Predict implements Predictor: always confident, always right.
-func (p *Oracle) Predict(pc uint64) Meta {
-	m := Meta{Pred: p.next, Conf: true}
+func (p *Oracle) Predict(pc uint64, m *Meta) {
+	*m = Meta{Pred: p.next, Conf: true}
 	m.C1.Pred = p.next
 	m.C1.Conf = true
-	return m
 }
 
 // Train implements Predictor.

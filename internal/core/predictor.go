@@ -47,11 +47,16 @@ type Meta struct {
 // concurrent use; the pipeline drives them from a single goroutine, mirroring
 // the single in-order front-end of the machine.
 type Predictor interface {
-	// Predict returns the prediction for the next dynamic occurrence of the
-	// µop at pc. It must be called in fetch order: context-based predictors
-	// read the current global history, and computational predictors advance
-	// their speculative per-PC value state.
-	Predict(pc uint64) Meta
+	// Predict fills m with the prediction for the next dynamic occurrence of
+	// the µop at pc. It must be called in fetch order: context-based
+	// predictors read the current global history, and computational
+	// predictors advance their speculative per-PC value state.
+	//
+	// m is caller-provided scratch (typically the µop's in-flight payload
+	// slot) and must be fully overwritten — nothing survives from its
+	// previous use. Passing the scratch in rather than returning a Meta keeps
+	// the per-µop hot path free of large value copies and heap escapes.
+	Predict(pc uint64, m *Meta)
 
 	// Train updates the predictor with the architectural result of the µop,
 	// in commit order. m is the Meta returned by the matching Predict.

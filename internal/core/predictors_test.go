@@ -7,11 +7,19 @@ import (
 	"repro/internal/ghist"
 )
 
+// predict adapts the scratch-passing Predict contract for tests that want a
+// value result.
+func predict(p Predictor, pc uint64) Meta {
+	var m Meta
+	p.Predict(pc, &m)
+	return m
+}
+
 // drive feeds a value sequence for one PC through predict/train and returns
 // how many of the last `tail` predictions were confident-and-correct.
 func drive(p Predictor, pc uint64, seq []Value, tail int) (confCorrect, confWrong int) {
 	for i, v := range seq {
-		m := p.Predict(pc)
+		m := predict(p, pc)
 		if m.Conf && i >= len(seq)-tail {
 			if m.Pred == v {
 				confCorrect++
@@ -88,7 +96,7 @@ func TestStride2DeltaFiltersOneOffJumps(t *testing.T) {
 	seq = append(seq, affineSeq(10_008, 8, 20)...) // stride 8 resumes
 	var preds []Value
 	for _, v := range seq {
-		m := p.Predict(1)
+		m := predict(p, 1)
 		preds = append(preds, m.Pred)
 		p.Train(1, v, &m)
 	}
@@ -108,17 +116,17 @@ func TestStrideSpeculativeBackToBack(t *testing.T) {
 	// Warm the entry: values 0,8,16,24 committed.
 	seq := uint64(0)
 	for i := 0; i < 4; i++ {
-		m := p.Predict(9)
+		m := predict(p, 9)
 		m.Seq = seq
 		p.FeedSpec(9, Value(i*8), seq)
 		p.Train(9, Value(i*8), &m)
 		seq++
 	}
-	m1 := p.Predict(9) // should predict 32 (last=24 + 8)
+	m1 := predict(p, 9) // should predict 32 (last=24 + 8)
 	m1.Seq = seq
 	p.FeedSpec(9, m1.Pred, seq)
 	seq++
-	m2 := p.Predict(9) // speculative: 40, building on the in-flight 32
+	m2 := predict(p, 9) // speculative: 40, building on the in-flight 32
 	m2.Seq = seq
 	p.FeedSpec(9, m2.Pred, seq)
 	if m1.Pred != 32 {
@@ -135,7 +143,7 @@ func TestStrideSquashDropsSpeculativeState(t *testing.T) {
 	p := NewStride2D(10, FPCBaseline, 1)
 	seq := uint64(0)
 	for i := 0; i < 4; i++ {
-		m := p.Predict(9)
+		m := predict(p, 9)
 		m.Seq = seq
 		p.FeedSpec(9, Value(i*8), seq)
 		p.Train(9, Value(i*8), &m)
@@ -145,7 +153,7 @@ func TestStrideSquashDropsSpeculativeState(t *testing.T) {
 	p.FeedSpec(9, 32, seq)
 	p.FeedSpec(9, 40, seq+1)
 	p.Squash(seq)
-	m := p.Predict(9)
+	m := predict(p, 9)
 	if m.Pred != 32 {
 		t.Errorf("post-squash prediction = %d, want 32 (from committed state)", m.Pred)
 	}
@@ -156,7 +164,7 @@ func TestStrideSquashKeepsOlderInflight(t *testing.T) {
 	p := NewStride2D(10, FPCBaseline, 1)
 	seq := uint64(0)
 	for i := 0; i < 4; i++ {
-		m := p.Predict(9)
+		m := predict(p, 9)
 		m.Seq = seq
 		p.FeedSpec(9, Value(i*8), seq)
 		p.Train(9, Value(i*8), &m)
@@ -165,13 +173,13 @@ func TestStrideSquashKeepsOlderInflight(t *testing.T) {
 	p.FeedSpec(9, 32, seq)   // survives
 	p.FeedSpec(9, 40, seq+1) // squashed
 	p.Squash(seq + 1)
-	m := p.Predict(9)
+	m := predict(p, 9)
 	if m.Pred != 40 {
 		t.Errorf("post-partial-squash prediction = %d, want 40 (32+stride)", m.Pred)
 	}
 	// Refetch of the squashed occurrence re-feeds the same seq.
 	p.FeedSpec(9, 40, seq+1)
-	if m := p.Predict(9); m.Pred != 48 {
+	if m := predict(p, 9); m.Pred != 48 {
 		t.Errorf("post-refetch prediction = %d, want 48", m.Pred)
 	}
 }
@@ -197,14 +205,14 @@ func TestFCMSquashDropsSpeculativeHistory(t *testing.T) {
 	p := NewFCM(4, 10, FPCBaseline, 1)
 	pattern := []Value{5, 17, 99, 4}
 	for i := 0; i < 200; i++ {
-		m := p.Predict(7)
+		m := predict(p, 7)
 		m.Seq = uint64(i)
 		p.Train(7, pattern[i%4], &m)
 	}
-	before := p.Predict(7)
+	before := predict(p, 7)
 	p.FeedSpec(7, 1234, 500) // speculative occurrence, then squashed
 	p.Squash(500)
-	after := p.Predict(7)
+	after := predict(p, 7)
 	if before.Pred != after.Pred {
 		t.Errorf("squash did not restore the non-speculative prediction: %d vs %d", before.Pred, after.Pred)
 	}
@@ -217,18 +225,18 @@ func TestFCMSpeculativeWindowShiftsContext(t *testing.T) {
 	p := NewFCM(4, 10, FPCBaseline, 1)
 	pattern := []Value{5, 17, 99}
 	for i := 0; i < 300; i++ {
-		m := p.Predict(7)
+		m := predict(p, 7)
 		m.Seq = uint64(i)
 		p.FeedSpec(7, pattern[i%3], uint64(i))
 		p.Train(7, pattern[i%3], &m)
 	}
 	// Committed+spec history ends ...5,17,99 -> next is 5.
-	if m := p.Predict(7); m.Pred != 5 {
+	if m := predict(p, 7); m.Pred != 5 {
 		t.Fatalf("prediction = %d, want 5", m.Pred)
 	}
 	// One more in-flight occurrence (value 5) shifts the context -> 17.
 	p.FeedSpec(7, 5, 300)
-	if m := p.Predict(7); m.Pred != 17 {
+	if m := predict(p, 7); m.Pred != 17 {
 		t.Fatalf("prediction after spec feed = %d, want 17", m.Pred)
 	}
 }
@@ -237,7 +245,7 @@ func TestOracleAlwaysRight(t *testing.T) {
 	var p Oracle
 	for i := Value(0); i < 100; i++ {
 		p.FeedActual(i * 3)
-		m := p.Predict(uint64(i))
+		m := predict(&p, uint64(i))
 		if !m.Conf || m.Pred != i*3 {
 			t.Fatalf("oracle wrong: pred=%d conf=%v want %d", m.Pred, m.Conf, i*3)
 		}
@@ -257,10 +265,10 @@ func TestHybridSelectionRules(t *testing.T) {
 	// Strided values: stride component becomes confident, VTAGE does not
 	// (values never repeat), so the hybrid must pass stride through.
 	for i := 0; i < 40; i++ {
-		m := hy.Predict(50)
+		m := predict(hy, 50)
 		hy.Train(50, Value(i*16), &m)
 	}
-	m := hy.Predict(50)
+	m := predict(hy, 50)
 	if !m.Conf {
 		t.Fatal("hybrid not confident on strided sequence")
 	}
@@ -275,11 +283,11 @@ func TestHybridDisagreementSuppressesPrediction(t *testing.T) {
 	// Two hand-rolled components that are both confident but disagree.
 	a, b := &fixedPred{val: 1, conf: true}, &fixedPred{val: 2, conf: true}
 	hy := NewHybrid(a, b)
-	if m := hy.Predict(1); m.Conf {
+	if m := predict(hy, 1); m.Conf {
 		t.Error("hybrid used a prediction despite component disagreement")
 	}
 	a.val = 2
-	if m := hy.Predict(1); !m.Conf || m.Pred != 2 {
+	if m := predict(hy, 1); !m.Conf || m.Pred != 2 {
 		t.Error("hybrid rejected an agreed prediction")
 	}
 }
@@ -287,7 +295,7 @@ func TestHybridDisagreementSuppressesPrediction(t *testing.T) {
 func TestHybridTrainsBothComponents(t *testing.T) {
 	a, b := &fixedPred{}, &fixedPred{}
 	hy := NewHybrid(a, b)
-	m := hy.Predict(1)
+	m := predict(hy, 1)
 	hy.Train(1, 5, &m)
 	if a.trained != 1 || b.trained != 1 {
 		t.Errorf("component train counts = %d,%d, want 1,1", a.trained, b.trained)
@@ -306,11 +314,10 @@ type fixedPred struct {
 	squashed bool
 }
 
-func (f *fixedPred) Predict(pc uint64) Meta {
-	m := Meta{Pred: f.val, Conf: f.conf}
+func (f *fixedPred) Predict(pc uint64, m *Meta) {
+	*m = Meta{Pred: f.val, Conf: f.conf}
 	m.C1.Pred = f.val
 	m.C1.Conf = f.conf
-	return m
 }
 func (f *fixedPred) Train(pc uint64, actual Value, m *Meta) { f.trained++ }
 func (f *fixedPred) Squash(fromSeq uint64)                  { f.squashed = true }
@@ -345,7 +352,7 @@ func TestTable1MatchesPaperSizes(t *testing.T) {
 func TestLVPNeverConfidentOnFirstSight(t *testing.T) {
 	f := func(pc uint64, v Value) bool {
 		p := NewLVP(8, FPCBaseline, 1)
-		m := p.Predict(pc)
+		m := predict(p, pc)
 		return !m.Conf
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -364,7 +371,7 @@ func TestStrideExactOnAffineProperty(t *testing.T) {
 			return false
 		}
 		// After warmup the raw prediction (ignoring confidence) is exact.
-		m := p.Predict(3)
+		m := predict(p, 3)
 		return m.Pred == seq[len(seq)-1]+Value(int64(stride))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -380,7 +387,7 @@ func TestHybridForwardsFeedSpec(t *testing.T) {
 	hy := NewHybrid(fc, st)
 	// Warm stride: 0,8,16,24 committed.
 	for i := 0; i < 4; i++ {
-		m := hy.Predict(9)
+		m := predict(hy, 9)
 		m.Seq = uint64(i)
 		hy.FeedSpec(9, Value(i*8), uint64(i))
 		hy.Train(9, Value(i*8), &m)
@@ -388,7 +395,7 @@ func TestHybridForwardsFeedSpec(t *testing.T) {
 	// An in-flight occurrence fed through the hybrid must advance the
 	// stride component's speculative last value.
 	hy.FeedSpec(9, 32, 4)
-	if m := st.Predict(9); m.Pred != 40 {
+	if m := predict(st, 9); m.Pred != 40 {
 		t.Errorf("stride component spec last not forwarded: pred=%d, want 40", m.Pred)
 	}
 }
@@ -405,7 +412,7 @@ func TestFCMOrderMatters(t *testing.T) {
 		correct := 0
 		for i := 0; i < 600; i++ {
 			v := pattern[i%3]
-			m := p.Predict(4)
+			m := predict(p, 4)
 			m.Seq = uint64(i)
 			if i > 300 && m.Pred == v {
 				correct++

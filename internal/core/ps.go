@@ -62,10 +62,11 @@ func (p *PS) strideSlot(pc uint64, hist uint64) (*psStride, uint16) {
 
 // Predict implements Predictor: last speculative occurrence plus the stride
 // recorded for the current path.
-func (p *PS) Predict(pc uint64) Meta {
+func (p *PS) Predict(pc uint64, m *Meta) {
+	*m = Meta{}
 	le, tag := p.lastSlot(pc)
 	if !le.ok || le.tag != tag {
-		return Meta{}
+		return
 	}
 	last := le.last
 	if w := p.spec[pc]; w != nil {
@@ -75,7 +76,6 @@ func (p *PS) Predict(pc uint64) Meta {
 	}
 	hist := p.hist.Folded(p.fold)
 	se, stag := p.strideSlot(pc, hist)
-	var m Meta
 	if se.tag == stag {
 		m.Pred = last + Value(se.stride)
 		m.Conf = Saturated(se.c)
@@ -85,7 +85,6 @@ func (p *PS) Predict(pc uint64) Meta {
 	m.C1.Pred = m.Pred
 	m.C1.Conf = m.Conf
 	m.C1.Idx[0] = uint32(hist) // fetch-time path for Train
-	return m
 }
 
 // FeedSpec implements SpecFeeder.
@@ -98,13 +97,11 @@ func (p *PS) FeedSpec(pc uint64, v Value, seq uint64) {
 	w.push(seq, v)
 }
 
-// Train implements Predictor.
+// Train implements Predictor. Drained windows stay in the map so their
+// capacity is reused (empty predicts identically to absent).
 func (p *PS) Train(pc uint64, actual Value, m *Meta) {
 	if w := p.spec[pc]; w != nil {
 		w.popThrough(m.Seq)
-		if len(w.vals) == 0 {
-			delete(p.spec, pc)
-		}
 	}
 	le, tag := p.lastSlot(pc)
 	if !le.ok || le.tag != tag {
@@ -124,13 +121,10 @@ func (p *PS) Train(pc uint64, actual Value, m *Meta) {
 	le.last = actual
 }
 
-// Squash implements Predictor.
+// Squash implements Predictor. Drained windows are kept (see Train).
 func (p *PS) Squash(fromSeq uint64) {
-	for pc, w := range p.spec {
+	for _, w := range p.spec {
 		w.truncFrom(fromSeq)
-		if len(w.vals) == 0 {
-			delete(p.spec, pc)
-		}
 	}
 }
 

@@ -54,12 +54,18 @@ func (w *specWindow) push(seq uint64, v Value) {
 }
 
 // popThrough removes entries up to and including seq (commit consumption).
+// The survivors are compacted to the front of the backing array rather than
+// resliced past it, so the window's capacity is reused forever: the per-PC
+// steady state allocates nothing.
 func (w *specWindow) popThrough(seq uint64) {
 	i := 0
 	for i < len(w.vals) && w.vals[i].seq <= seq {
 		i++
 	}
-	w.vals = w.vals[i:]
+	if i > 0 {
+		n := copy(w.vals, w.vals[i:])
+		w.vals = w.vals[:n]
+	}
 }
 
 // truncFrom removes entries with sequence >= seq (squash repair).
@@ -91,10 +97,11 @@ func (p *Stride2D) slot(pc uint64) (*strideEntry, uint64) {
 // Predict implements Predictor: the last speculative occurrence (the newest
 // in-flight value if any, else the committed last value) plus the predicting
 // stride.
-func (p *Stride2D) Predict(pc uint64) Meta {
+func (p *Stride2D) Predict(pc uint64, m *Meta) {
+	*m = Meta{}
 	e, tag := p.slot(pc)
 	if !e.ok || e.tag != tag {
-		return Meta{}
+		return
 	}
 	last := e.last
 	if w := p.spec[pc]; w != nil {
@@ -103,10 +110,10 @@ func (p *Stride2D) Predict(pc uint64) Meta {
 		}
 	}
 	pred := last + Value(e.s2)
-	m := Meta{Pred: pred, Conf: Saturated(e.c)}
+	m.Pred = pred
+	m.Conf = Saturated(e.c)
 	m.C1.Pred = pred
 	m.C1.Conf = m.Conf
-	return m
 }
 
 // FeedSpec implements SpecFeeder: records the speculative value of the
@@ -120,13 +127,12 @@ func (p *Stride2D) FeedSpec(pc uint64, v Value, seq uint64) {
 	w.push(seq, v)
 }
 
-// Train implements Predictor.
+// Train implements Predictor. A drained window stays in the map: an empty
+// window predicts identically to an absent one, and keeping it preserves
+// its backing capacity so the steady state never reallocates it.
 func (p *Stride2D) Train(pc uint64, actual Value, m *Meta) {
 	if w := p.spec[pc]; w != nil {
 		w.popThrough(m.Seq)
-		if len(w.vals) == 0 {
-			delete(p.spec, pc)
-		}
 	}
 	e, tag := p.slot(pc)
 	if !e.ok || e.tag != tag {
@@ -149,12 +155,10 @@ func (p *Stride2D) Train(pc uint64, actual Value, m *Meta) {
 
 // Squash implements Predictor: speculative occurrences at or after fromSeq
 // died with the pipeline flush; older in-flight occurrences survive.
+// Drained windows are kept (see Train).
 func (p *Stride2D) Squash(fromSeq uint64) {
-	for pc, w := range p.spec {
+	for _, w := range p.spec {
 		w.truncFrom(fromSeq)
-		if len(w.vals) == 0 {
-			delete(p.spec, pc)
-		}
 	}
 }
 

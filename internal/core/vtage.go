@@ -132,8 +132,8 @@ func (p *VTAGE) compTag(k int, pc uint64) uint16 {
 
 // Predict implements Predictor. All components are searched in parallel; the
 // hitting component with the longest history provides the prediction.
-func (p *VTAGE) Predict(pc uint64) Meta {
-	var m Meta
+func (p *VTAGE) Predict(pc uint64, m *Meta) {
+	*m = Meta{}
 	m.C1.Prov = -1
 	m.C1.Idx[0] = uint32(hashPC(pc) & p.baseMask)
 	for k := 0; k < NComp; k++ {
@@ -156,7 +156,6 @@ func (p *VTAGE) Predict(pc uint64) Meta {
 	}
 	m.C1.Pred = m.Pred
 	m.C1.Conf = m.Conf
-	return m
 }
 
 // Train implements Predictor, applying the update automaton of Section 6 at

@@ -45,7 +45,7 @@ func branchCorrelatedRun(p Predictor, h *ghist.History, n int, tail int) (confCo
 		if dir {
 			v = vals[1]
 		}
-		m := p.Predict(pc)
+		m := predict(p, pc)
 		if m.Conf && i >= n-tail {
 			if m.Pred == v {
 				confCorrect++
@@ -94,12 +94,12 @@ func TestVTAGEAllocatesOnMisprediction(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		h.Push(i%2 == 0, uint64(i))
 	}
-	m := p.Predict(5)
+	m := predict(p, 5)
 	if m.C1.Prov != -1 {
 		t.Fatalf("fresh predictor has provider %d, want base (-1)", m.C1.Prov)
 	}
 	p.Train(5, 123, &m) // base learns 123... and a mispredict (pred was 0)
-	m2 := p.Predict(5)
+	m2 := predict(p, 5)
 	// After the mispredicting first occurrence an upper entry was allocated.
 	if m2.C1.Prov < 0 {
 		t.Error("no tagged component allocated after misprediction")
@@ -118,10 +118,10 @@ func TestVTAGEUsefulBitProtectsEntries(t *testing.T) {
 	// Train one PC until its provider entry is useful (correct prediction).
 	var m Meta
 	for i := 0; i < 5; i++ {
-		m = p.Predict(11)
+		m = predict(p, 11)
 		p.Train(11, 55, &m)
 	}
-	m = p.Predict(11)
+	m = predict(p, 11)
 	if m.Pred != 55 {
 		t.Fatalf("prediction = %d, want 55", m.Pred)
 	}
@@ -162,7 +162,7 @@ func TestVTAGEPredictRobustProperty(t *testing.T) {
 	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
 	f := func(pc uint64, taken bool, bpc uint16) bool {
 		h.Push(taken, uint64(bpc))
-		m := p.Predict(pc)
+		m := predict(p, pc)
 		if m.C1.Prov < -1 || m.C1.Prov >= NComp {
 			return false
 		}
@@ -184,12 +184,12 @@ func TestVTAGEIndicesStableUnderRollback(t *testing.T) {
 		h.Push(i%3 == 0, uint64(i))
 	}
 	pos := h.Pos()
-	m1 := p.Predict(77)
+	m1 := predict(p, 77)
 	for i := 0; i < 40; i++ {
 		h.Push(i%2 == 0, uint64(1000+i))
 	}
 	h.RollTo(pos)
-	m2 := p.Predict(77)
+	m2 := predict(p, 77)
 	if m1.C1.Idx != m2.C1.Idx || m1.C1.Tag != m2.C1.Tag {
 		t.Error("VTAGE indices/tags not reproducible after history rollback")
 	}
@@ -201,7 +201,7 @@ func TestVTAGETagWidthProperty(t *testing.T) {
 	p := NewVTAGE(DefaultVTAGEConfig(FPCBaseline), &h)
 	f := func(pc uint64, taken bool) bool {
 		h.Push(taken, pc)
-		m := p.Predict(pc)
+		m := predict(p, pc)
 		for k := 0; k < NComp; k++ {
 			if uint64(m.C1.Tag[k]) >= uint64(1)<<(13+k) {
 				return false
@@ -228,8 +228,8 @@ func TestVTAGEDeterministicAcrossInstances(t *testing.T) {
 		h1.Push(taken, uint64(i%7))
 		h2.Push(taken, uint64(i%7))
 		pc := uint64(i % 13)
-		m1 := p1.Predict(pc)
-		m2 := p2.Predict(pc)
+		m1 := predict(p1, pc)
+		m2 := predict(p2, pc)
 		if m1.Pred != m2.Pred || m1.Conf != m2.Conf {
 			t.Fatalf("instances diverged at step %d", i)
 		}

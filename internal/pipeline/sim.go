@@ -91,6 +91,11 @@ type Sim struct {
 	trace []isa.DynInst
 	pred  core.Predictor // nil = baseline machine without value prediction
 
+	// OnCommit, when non-nil, observes every architecturally committed µop in
+	// commit order — exactly once each, squashes included. Differential tests
+	// replay the committed stream against the functional emulator through it.
+	OnCommit func(*isa.DynInst)
+
 	hist  *ghist.History
 	tage  *bpred.Tage
 	btb   *bpred.BTB
@@ -112,18 +117,41 @@ type Sim struct {
 	lqUsed int
 	sqUsed int
 
-	feq []feEntry
+	// Per-cycle stage worklists (age-ordered; see slotList). Together they
+	// replace full-ROB scans in issue, writeback and IQ validation.
+	waitIssue slotList // dispatched, not yet issued
+	waitWB    slotList // issued, writeback-side effects not yet processed
+	iqHeld    slotList // still holding an IQ entry (inIQ)
+
+	// In-flight memory µops (age-ordered): store-to-load forwarding walks
+	// inFlightSt instead of every older ROB slot, and violation detection
+	// walks inFlightLd instead of every younger one.
+	inFlightLd slotList
+	inFlightSt slotList
+
+	// Fetch-to-dispatch decoupling queue as a fixed ring buffer: feq is
+	// allocated once in New and reused for the whole run.
+	feq     []feEntry
+	feqHead int
+	feqLen  int
 
 	fetchIdx     int
 	nextFetchCyc int64
-	fetchBlocked bool // waiting for a mispredicted branch to resolve
-	lastFetchCyc map[uint32]int64
+	fetchBlocked bool    // waiting for a mispredicted branch to resolve
+	lastFetchCyc []int64 // per static PC, cycle of the last fetch (-1 = never)
 
 	lastProd [isa.NumRegs]int // arch reg -> producing ROB slot (or noSlot)
 
 	// Unpipelined divider pools.
 	divFree   []int64
 	fpDivFree []int64
+
+	// reissueScratch is the reusable invalid-set of reissueDependents.
+	reissueScratch []bool
+
+	// Cached capability views of pred, resolved once instead of per fetch.
+	ofeed core.OracleFeed
+	sfeed core.SpecFeeder
 
 	warmupUops uint64
 	warmed     bool
@@ -142,23 +170,51 @@ func New(cfg Config, trace []isa.DynInst, pred core.Predictor, hist *ghist.Histo
 	pf := mem.NewStridePrefetcher(8, 8, l2)
 	l2.AttachPrefetcher(pf)
 	s := &Sim{
-		cfg:          cfg,
-		trace:        trace,
-		pred:         pred,
-		hist:         hist,
-		tage:         bpred.NewTage(bpred.DefaultTageConfig(), hist),
-		btb:          bpred.NewBTB(12),
-		ras:          &bpred.RAS{},
-		l1i:          mem.NewCache(cfg.L1I, l2, nil),
-		l1d:          mem.NewCache(cfg.L1D, l2, nil),
-		l2:           l2,
-		mm:           mm,
-		ssets:        memdep.New(cfg.LogSSIT),
-		regs:         regfile.NewFiles(cfg.IntRegs, cfg.FPRegs),
-		rob:          make([]robEntry, cfg.ROB),
-		lastFetchCyc: make(map[uint32]int64),
-		divFree:      make([]int64, cfg.MulDivs),
-		fpDivFree:    make([]int64, cfg.FPMulDivs),
+		cfg:       cfg,
+		trace:     trace,
+		pred:      pred,
+		hist:      hist,
+		tage:      bpred.NewTage(bpred.DefaultTageConfig(), hist),
+		btb:       bpred.NewBTB(12),
+		ras:       &bpred.RAS{},
+		l1i:       mem.NewCache(cfg.L1I, l2, nil),
+		l1d:       mem.NewCache(cfg.L1D, l2, nil),
+		l2:        l2,
+		mm:        mm,
+		ssets:     memdep.New(cfg.LogSSIT),
+		regs:      regfile.NewFiles(cfg.IntRegs, cfg.FPRegs),
+		rob:       make([]robEntry, cfg.ROB),
+		divFree:   make([]int64, cfg.MulDivs),
+		fpDivFree: make([]int64, cfg.FPMulDivs),
+	}
+	s.waitIssue = newSlotList(cfg.ROB)
+	s.waitWB = newSlotList(cfg.ROB)
+	s.iqHeld = newSlotList(cfg.ROB)
+	s.inFlightLd = newSlotList(cfg.ROB)
+	s.inFlightSt = newSlotList(cfg.ROB)
+	s.reissueScratch = make([]bool, cfg.ROB)
+	// The ring must absorb one full fetch group past the high-water check at
+	// the top of fetch (which only gates the start of a group).
+	fw := cfg.FetchWidth
+	if fw < 1 {
+		fw = 1
+	}
+	s.feq = make([]feEntry, fetchBufCap+fw)
+	// Last-fetch-cycle table, indexed by static PC (trace PCs are program
+	// indices, so the table is as small as the program).
+	maxPC := uint32(0)
+	for i := range trace {
+		if trace[i].PC > maxPC {
+			maxPC = trace[i].PC
+		}
+	}
+	s.lastFetchCyc = make([]int64, maxPC+1)
+	for i := range s.lastFetchCyc {
+		s.lastFetchCyc[i] = -1
+	}
+	if pred != nil {
+		s.ofeed, _ = pred.(core.OracleFeed)
+		s.sfeed, _ = pred.(core.SpecFeeder)
 	}
 	for i := range s.lastProd {
 		s.lastProd[i] = noSlot
@@ -180,11 +236,32 @@ func (s *Sim) di(ti int) *isa.DynInst { return &s.trace[ti] }
 
 func (s *Sim) entry(slot int) *robEntry { return &s.rob[slot] }
 
-func (s *Sim) next(slot int) int { return (slot + 1) % len(s.rob) }
+func (s *Sim) next(slot int) int {
+	if slot++; slot == len(s.rob) {
+		return 0
+	}
+	return slot
+}
 
 // slotAge converts a slot to its age order position (0 = oldest).
 func (s *Sim) slotAge(slot int) int {
-	return (slot - s.head + len(s.rob)) % len(s.rob)
+	d := slot - s.head
+	if d < 0 {
+		d += len(s.rob)
+	}
+	return d
+}
+
+// insertByAge links slot into l keeping l's age order. It walks backwards
+// from the tail: insertions overwhelmingly happen at or near the young end
+// (fresh issues, replayed µops), so the walk is short.
+func (s *Sim) insertByAge(l *slotList, slot int) {
+	age := s.slotAge(slot)
+	cur := l.tail
+	for cur != listEnd && s.slotAge(cur) > age {
+		cur = l.prev[cur]
+	}
+	l.insertAfter(cur, slot)
 }
 
 // Run simulates warmup+measure committed µops (capped by the trace length)
@@ -199,7 +276,25 @@ func (s *Sim) Run(warmup, measure uint64) (*Stats, error) {
 	if t := uint64(len(s.trace)); total > t {
 		total = t
 	}
-	var lastCommitted uint64
+	return s.advanceTo(total)
+}
+
+// Advance continues a running simulation until n more µops commit (capped by
+// the trace length) and returns the statistics. It is the steady-state
+// benchmarking entry point: Run once to warm the machine, then time repeated
+// Advance calls to measure the simulate loop free of construction, trace
+// generation, and cold-start effects.
+func (s *Sim) Advance(n uint64) (*Stats, error) {
+	target := s.stats.Committed + n
+	if t := uint64(len(s.trace)); target > t {
+		target = t
+	}
+	return s.advanceTo(target)
+}
+
+// advanceTo steps the machine until total µops have committed.
+func (s *Sim) advanceTo(total uint64) (*Stats, error) {
+	lastCommitted := s.stats.Committed
 	stuck := int64(0)
 	for s.stats.Committed < total {
 		s.step()
@@ -290,9 +385,27 @@ func (s *Sim) commit() {
 		}
 		if e.isLoad {
 			s.lqUsed--
+			s.inFlightLd.remove(s.head)
 		}
 		if e.isStore {
 			s.sqUsed--
+			s.inFlightSt.remove(s.head)
+		}
+		if e.inIQ {
+			// Validation precedes commit by construction, but keep the IQ
+			// worklist and counter consistent with the slot's reuse if a
+			// holder ever reaches retirement.
+			e.inIQ = false
+			s.iqUsed--
+			s.iqHeld.remove(s.head)
+		}
+		if !e.wbDone {
+			// Writeback-side processing can be starved past retirement by
+			// consecutive squash early-returns in writeback(). The effects
+			// are moot once the µop commits, but the slot must leave the
+			// worklist before it is reused for a younger µop.
+			e.wbDone = true
+			s.waitWB.remove(s.head)
 		}
 		// The committed entry can no longer forward through the ROB.
 		if e.hasDest && s.lastProd[di.Dst] == s.head {
@@ -301,6 +414,9 @@ func (s *Sim) commit() {
 		s.head = s.next(s.head)
 		s.count--
 		s.stats.Committed++
+		if s.OnCommit != nil {
+			s.OnCommit(di)
+		}
 
 		if !s.warmed && s.stats.Committed >= s.warmupUops {
 			s.warmed = true
@@ -324,13 +440,18 @@ func (s *Sim) commit() {
 
 // writeback processes µops whose execution completed this cycle: branch
 // redirects, store-set violation checks, and value-misprediction detection.
+// It walks only the issued-but-unprocessed worklist (in age order), not the
+// whole ROB.
 func (s *Sim) writeback() {
-	for slot, n := s.head, 0; n < s.count; slot, n = s.next(slot), n+1 {
+	nxt := listEnd
+	for slot := s.waitWB.head; slot != listEnd; slot = nxt {
+		nxt = s.waitWB.next[slot]
 		e := s.entry(slot)
-		if !e.done || e.wbDone || e.doneCyc > s.cycle {
-			continue
+		if e.doneCyc > s.cycle {
+			continue // still executing
 		}
 		e.wbDone = true
+		s.waitWB.remove(slot)
 		di := s.di(e.ti)
 
 		// Branch resolution: redirect the stalled front-end.
@@ -362,17 +483,27 @@ func (s *Sim) writeback() {
 		// with the paper's idealistic 0-cycle repair.
 		if e.conf && e.predWrong && s.cfg.Recovery == SelectiveReissue && e.predUsed {
 			s.reissueDependents(slot)
+			// Replayed µops (all younger than slot) left the worklist, which
+			// may include the captured successor: restart from the head. The
+			// already-processed prefix is gone from the list, so the rescan
+			// visits exactly the remaining entries in the same age order.
+			nxt = s.waitWB.head
 		}
 	}
 }
 
 // findViolatingLoad returns the oldest load younger than the store at slot
-// that already executed with an overlapping address, or noSlot.
+// that already executed with an overlapping address, or noSlot. Only
+// in-flight loads are examined (oldest first), not every younger slot.
 func (s *Sim) findViolatingLoad(storeSlot int, se *robEntry) int {
 	saddr := s.di(se.ti).Addr &^ 7
-	for slot, n := s.next(storeSlot), s.slotAge(storeSlot)+1; n < s.count; slot, n = s.next(slot), n+1 {
+	storeAge := s.slotAge(storeSlot)
+	for slot := s.inFlightLd.head; slot != listEnd; slot = s.inFlightLd.next[slot] {
+		if s.slotAge(slot) <= storeAge {
+			continue // not younger than the store
+		}
 		e := s.entry(slot)
-		if !e.isLoad || !e.issued {
+		if !e.issued {
 			continue
 		}
 		if e.issueCyc >= se.doneCyc {
@@ -387,9 +518,11 @@ func (s *Sim) findViolatingLoad(storeSlot int, se *robEntry) int {
 
 // reissueDependents invalidates (transitively) every issued µop that
 // consumed a value derived from the mispredicted producer at root, making
-// them re-execute with correct inputs.
+// them re-execute with correct inputs. The invalid-set scratch is a Sim
+// field reused across calls.
 func (s *Sim) reissueDependents(root int) {
-	invalid := make([]bool, len(s.rob))
+	invalid := s.reissueScratch
+	clear(invalid)
 	invalid[root] = true
 	rootE := s.entry(root)
 	for slot, n := s.next(root), s.slotAge(root)+1; n < s.count; slot, n = s.next(slot), n+1 {
@@ -410,9 +543,13 @@ func (s *Sim) reissueDependents(root int) {
 		invalid[slot] = true
 		e.issued = false
 		e.done = false
+		if !e.wbDone {
+			s.waitWB.remove(slot) // was awaiting writeback under its stale result
+		}
 		e.wbDone = false
 		e.fwdStore = false
 		e.doneCyc = 0
+		s.insertByAge(&s.waitIssue, slot) // back on the issue worklist
 		if s.warmed {
 			s.stats.ReissuedUops++
 		}
@@ -434,12 +571,12 @@ func (s *Sim) consumedStale(e *robEntry, p int, root int, rootE *robEntry) bool 
 func (s *Sim) issue() {
 	issued := 0
 	aluUsed, mulUsed, fpUsed, fpMulUsed, memUsed := 0, 0, 0, 0, 0
-	for slot, n := s.head, 0; n < s.count && issued < s.cfg.IssueWidth; slot, n = s.next(slot), n+1 {
+	nxt := listEnd
+	for slot := s.waitIssue.head; slot != listEnd && issued < s.cfg.IssueWidth; slot = nxt {
+		nxt = s.waitIssue.next[slot]
 		e := s.entry(slot)
-		if !e.dispatched || e.issued {
-			continue
-		}
-		if !s.srcReady(e) {
+		ready, spec1, spec2 := s.srcStatus(e)
+		if !ready {
 			continue
 		}
 		di := s.di(e.ti)
@@ -511,13 +648,25 @@ func (s *Sim) issue() {
 		e.issueCyc = s.cycle
 		e.doneCyc = s.cycle + lat
 		e.done = true // completion is timestamped; effects apply at doneCyc
-		s.markSpecUse(e)
+		s.waitIssue.remove(slot)
+		s.insertByAge(&s.waitWB, slot)
+		// Record prediction consumption for each source satisfied by a
+		// not-yet-validated predicted value (folded out of srcStatus).
+		if spec1 {
+			s.rob[e.dep1].predUsed = true
+			e.usedSpecSrc = true
+		}
+		if spec2 {
+			s.rob[e.dep2].predUsed = true
+			e.usedSpecSrc = true
+		}
 		issued++
 		// IQ entries release at issue, except that under selective reissue
 		// value-speculatively issued µops stay until validated (Section 7.2).
 		if e.inIQ && (s.cfg.Recovery == SquashAtCommit || !e.usedSpecSrc) {
 			e.inIQ = false
 			s.iqUsed--
+			s.iqHeld.remove(slot)
 		}
 	}
 }
@@ -531,46 +680,34 @@ func freeUnit(units []int64, now int64) int {
 	return -1
 }
 
-// srcReady reports whether both sources of e are available this cycle —
+// srcStatus reports whether both sources of e are available this cycle —
 // from committed state, a completed producer (full bypass), or a confident
-// value prediction written to the PRF at the producer's dispatch.
-func (s *Sim) srcReady(e *robEntry) bool {
-	return s.operandReady(e.dep1, e.dep1Seq) && s.operandReady(e.dep2, e.dep2Seq)
-}
-
-func (s *Sim) operandReady(dep int, depSeq uint64) bool {
-	if dep == noSlot {
-		return true
-	}
-	p := &s.rob[dep]
-	if p.seq != depSeq {
-		return true // producer committed; value is architectural
-	}
-	if p.done && p.doneCyc <= s.cycle {
-		return true
-	}
-	return p.conf // predicted value available since dispatch
-}
-
-// markSpecUse records, for each source satisfied by a prediction rather
-// than a computed result, that the producer's prediction has been consumed.
-func (s *Sim) markSpecUse(e *robEntry) {
-	for _, d := range [2]struct {
-		slot int
-		seq  uint64
-	}{{e.dep1, e.dep1Seq}, {e.dep2, e.dep2Seq}} {
-		if d.slot == noSlot {
-			continue
-		}
-		p := &s.rob[d.slot]
-		if p.seq != d.seq {
-			continue
-		}
-		if !(p.done && p.doneCyc <= s.cycle) && p.conf {
-			p.predUsed = true
-			e.usedSpecSrc = true
+// value prediction written to the PRF at the producer's dispatch — and, per
+// source, whether availability rests on a not-yet-validated prediction. It
+// fuses the former operandReady and markSpecUse passes into one walk of the
+// producers; the caller applies the spec flags only if the µop really
+// issues.
+func (s *Sim) srcStatus(e *robEntry) (ready, spec1, spec2 bool) {
+	if e.dep1 != noSlot {
+		p := &s.rob[e.dep1]
+		// p.seq != seq means the producer committed: value is architectural.
+		if p.seq == e.dep1Seq && !(p.done && p.doneCyc <= s.cycle) {
+			if !p.conf {
+				return false, false, false
+			}
+			spec1 = true // predicted value available since dispatch
 		}
 	}
+	if e.dep2 != noSlot {
+		p := &s.rob[e.dep2]
+		if p.seq == e.dep2Seq && !(p.done && p.doneCyc <= s.cycle) {
+			if !p.conf {
+				return false, false, false
+			}
+			spec2 = true
+		}
+	}
+	return true, spec1, spec2
 }
 
 // loadLatency resolves a load at issue time: store-set blocking, LSQ
@@ -580,7 +717,7 @@ func (s *Sim) loadLatency(slot int, e *robEntry) (int64, bool) {
 
 	// Store-set discipline: wait for the predicted-conflicting store.
 	if e.hasDepStore {
-		if ps := s.findInFlight(e.depStoreSeq); ps != noSlot {
+		if ps := s.findInFlightStore(e.depStoreSeq); ps != noSlot {
 			p := s.entry(ps)
 			if !(p.done && p.doneCyc <= s.cycle) {
 				return 0, false
@@ -588,13 +725,14 @@ func (s *Sim) loadLatency(slot int, e *robEntry) (int64, bool) {
 		}
 	}
 
-	// Search older stores (youngest first) for a forwarding match.
+	// Search older in-flight stores (youngest first) for a forwarding match.
 	addr := di.Addr &^ 7
-	for slot2, n := s.prevSlot(slot), s.slotAge(slot)-1; n >= 0; slot2, n = s.prevSlot(slot2), n-1 {
-		p := s.entry(slot2)
-		if !p.isStore {
-			continue
+	age := s.slotAge(slot)
+	for slot2 := s.inFlightSt.tail; slot2 != listEnd; slot2 = s.inFlightSt.prev[slot2] {
+		if s.slotAge(slot2) >= age {
+			continue // not older than the load
 		}
+		p := s.entry(slot2)
 		if !(p.done && p.doneCyc <= s.cycle) {
 			continue // unresolved older store: speculate past it (store sets)
 		}
@@ -611,10 +749,17 @@ func (s *Sim) loadLatency(slot int, e *robEntry) (int64, bool) {
 	return done - s.cycle, true
 }
 
-func (s *Sim) prevSlot(slot int) int { return (slot - 1 + len(s.rob)) % len(s.rob) }
+func (s *Sim) prevSlot(slot int) int {
+	if slot == 0 {
+		return len(s.rob) - 1
+	}
+	return slot - 1
+}
 
-func (s *Sim) findInFlight(seq uint64) int {
-	for slot, n := s.head, 0; n < s.count; slot, n = s.next(slot), n+1 {
+// findInFlightStore resolves a store-set token (always a store's sequence
+// number) to its ROB slot, or noSlot if that store already committed.
+func (s *Sim) findInFlightStore(seq uint64) int {
+	for slot := s.inFlightSt.head; slot != listEnd; slot = s.inFlightSt.next[slot] {
 		if s.rob[slot].seq == seq {
 			return slot
 		}
@@ -624,16 +769,19 @@ func (s *Sim) findInFlight(seq uint64) int {
 
 // releaseValidatedIQ frees IQ entries of issued µops whose value-speculative
 // sources have all been validated — the extra IQ pressure selective reissue
-// costs (Section 7.2.1).
+// costs (Section 7.2.1). Only current IQ holders are visited.
 func (s *Sim) releaseValidatedIQ() {
-	for slot, n := s.head, 0; n < s.count; slot, n = s.next(slot), n+1 {
+	nxt := listEnd
+	for slot := s.iqHeld.head; slot != listEnd; slot = nxt {
+		nxt = s.iqHeld.next[slot]
 		e := s.entry(slot)
-		if !e.inIQ || !e.issued || !e.done || e.doneCyc > s.cycle {
+		if !e.issued || !e.done || e.doneCyc > s.cycle {
 			continue
 		}
 		if s.depValidated(e.dep1, e.dep1Seq) && s.depValidated(e.dep2, e.dep2Seq) {
 			e.inIQ = false
 			s.iqUsed--
+			s.iqHeld.remove(slot)
 		}
 	}
 }
@@ -652,8 +800,8 @@ func (s *Sim) depValidated(dep int, depSeq uint64) bool {
 // -------------------------------------------------------------- dispatch --
 
 func (s *Sim) dispatch() {
-	for n := 0; n < s.cfg.DispatchWidth && len(s.feq) > 0; n++ {
-		fe := &s.feq[0]
+	for n := 0; n < s.cfg.DispatchWidth && s.feqLen > 0; n++ {
+		fe := &s.feq[s.feqHead]
 		if fe.readyCyc > s.cycle {
 			return
 		}
@@ -707,11 +855,15 @@ func (s *Sim) dispatch() {
 			dep2:       noSlot,
 		}
 		s.iqUsed++
+		s.waitIssue.pushBack(slot)
+		s.iqHeld.pushBack(slot)
 		if isLoad {
 			s.lqUsed++
+			s.inFlightLd.pushBack(slot)
 		}
 		if isStore {
 			s.sqUsed++
+			s.inFlightSt.pushBack(slot)
 		}
 
 		// Rename: resolve sources to in-flight producers.
@@ -741,7 +893,10 @@ func (s *Sim) dispatch() {
 
 		s.tail = s.next(s.tail)
 		s.count++
-		s.feq = s.feq[1:]
+		if s.feqHead++; s.feqHead == len(s.feq) {
+			s.feqHead = 0
+		}
+		s.feqLen--
 	}
 }
 
@@ -760,7 +915,9 @@ func (s *Sim) fetch() {
 	if s.fetchBlocked || s.cycle < s.nextFetchCyc || s.fetchIdx >= len(s.trace) {
 		return
 	}
-	if len(s.feq) >= fetchBufCap {
+	// The high-water check gates the start of a group only; the ring is sized
+	// fetchBufCap+FetchWidth so a full group always fits past it.
+	if s.feqLen >= fetchBufCap {
 		return
 	}
 	taken := 0
@@ -796,7 +953,15 @@ func (s *Sim) fetch() {
 			lastLine = lineAddr
 		}
 
-		fe := feEntry{
+		// Build the entry directly in its ring slot: the predictor writes its
+		// Meta payload in place, so the per-µop hot path copies it exactly
+		// once (ring slot -> ROB entry at dispatch).
+		fi := s.feqHead + s.feqLen
+		if fi >= len(s.feq) {
+			fi -= len(s.feq)
+		}
+		fe := &s.feq[fi]
+		*fe = feEntry{
 			ti:       s.fetchIdx,
 			readyCyc: s.cycle + s.cfg.FrontDepth,
 			histPos:  s.hist.Pos(),
@@ -807,10 +972,10 @@ func (s *Sim) fetch() {
 		// a register (Section 7.2).
 		if s.pred != nil && di.HasDest() && (!s.cfg.PredictLoadsOnly || isa.IsLoad(di.Op)) {
 			fe.vpTried = true
-			if of, ok := s.pred.(core.OracleFeed); ok {
-				of.FeedActual(di.Result)
+			if s.ofeed != nil {
+				s.ofeed.FeedActual(di.Result)
 			}
-			fe.meta = s.pred.Predict(uint64(di.PC))
+			s.pred.Predict(uint64(di.PC), &fe.meta)
 			fe.meta.Seq = di.Seq
 			fe.conf = fe.meta.Conf
 			fe.predWrong = fe.conf && fe.meta.Pred != di.Result
@@ -822,8 +987,8 @@ func (s *Sim) fetch() {
 			// cycles"). The trace-driven equivalent feeds the occurrence's
 			// actual outcome, which a real machine approximates through
 			// execution-time repair of the speculative window.
-			if sf, ok := s.pred.(core.SpecFeeder); ok {
-				sf.FeedSpec(uint64(di.PC), di.Result, di.Seq)
+			if s.sfeed != nil {
+				s.sfeed.FeedSpec(uint64(di.PC), di.Result, di.Seq)
 			}
 		}
 
@@ -831,7 +996,7 @@ func (s *Sim) fetch() {
 		if s.warmed {
 			s.stats.FetchedUops++
 			if di.HasDest() {
-				if last, ok := s.lastFetchCyc[di.PC]; ok && last == s.cycle-1 {
+				if last := s.lastFetchCyc[di.PC]; last >= 0 && last == s.cycle-1 {
 					s.stats.B2BEligible++
 				}
 			}
@@ -840,10 +1005,10 @@ func (s *Sim) fetch() {
 
 		stop := false
 		if isa.IsControl(di.Op) {
-			stop = s.fetchControl(di, &fe, &taken)
+			stop = s.fetchControl(di, fe, &taken)
 		}
 
-		s.feq = append(s.feq, fe)
+		s.feqLen++
 		s.fetchIdx++
 		if stop {
 			return
@@ -947,23 +1112,45 @@ func (s *Sim) squashFromAge(fromAge int, resumeTI int, resumeCyc int64) {
 		s.count = fromAge
 		s.tail = slot
 	}
-	if !restored && len(s.feq) > 0 {
-		histPos, rasTop, restored = s.feq[0].histPos, s.feq[0].rasTop, true
+	if !restored && s.feqLen > 0 {
+		fe := &s.feq[s.feqHead]
+		histPos, rasTop, restored = fe.histPos, fe.rasTop, true
 	}
 	if restored {
 		s.hist.RollTo(histPos)
 		s.ras.Restore(rasTop)
 	}
-	s.feq = s.feq[:0]
+	s.feqHead, s.feqLen = 0, 0
 
-	// Rebuild the rename table from the surviving ROB prefix.
+	// Rebuild the rename table and the stage worklists from the surviving
+	// ROB prefix.
 	for i := range s.lastProd {
 		s.lastProd[i] = noSlot
 	}
+	s.waitIssue.clear()
+	s.waitWB.clear()
+	s.iqHeld.clear()
+	s.inFlightLd.clear()
+	s.inFlightSt.clear()
 	for cur, n := s.head, 0; n < s.count; cur, n = s.next(cur), n+1 {
 		e := s.entry(cur)
 		if e.hasDest {
 			s.lastProd[s.di(e.ti).Dst] = cur
+		}
+		if e.dispatched && !e.issued {
+			s.waitIssue.pushBack(cur)
+		}
+		if e.issued && !e.wbDone {
+			s.waitWB.pushBack(cur)
+		}
+		if e.inIQ {
+			s.iqHeld.pushBack(cur)
+		}
+		if e.isLoad {
+			s.inFlightLd.pushBack(cur)
+		}
+		if e.isStore {
+			s.inFlightSt.pushBack(cur)
 		}
 	}
 
