@@ -20,6 +20,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kernels"
 	"repro/internal/pipeline"
+	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 // Recovery selects the value-misprediction recovery mechanism.
@@ -140,3 +142,40 @@ func RunExperimentOpts(id string, o ExperimentOptions, w io.Writer) error {
 	}
 	return harness.Render(harness.NewSession(o.Warmup, o.Measure), e, o.Format, o.Workers, w)
 }
+
+// Service layer (DESIGN.md §6): the simulation-as-a-service subsystem. A
+// Server is one process-lifetime session behind the /v1 HTTP job API —
+// synchronous simulation, batch and experiment jobs, NDJSON/SSE result
+// streaming, cancellation, and /healthz + /statsz observability. cmd/vpserved
+// is the standalone daemon; Client is the typed way to talk to either.
+
+// Server is the simulation service as an http.Handler.
+type Server = service.Server
+
+// ServerOptions configures a Server; the zero value uses serving defaults
+// (50k/250k windows, GOMAXPROCS workers, 64 jobs, 4096 specs/batch, 2m
+// synchronous budget).
+type ServerOptions = service.Options
+
+// SpecRequest is the wire form of one simulation spec.
+type SpecRequest = service.SpecRequest
+
+// JobStatus is the wire form of one service job.
+type JobStatus = service.JobStatus
+
+// ServiceEvent is one entry of a job's result stream.
+type ServiceEvent = service.Event
+
+// ServerStats is the /v1/statsz body.
+type ServerStats = service.ServerStats
+
+// NewServer builds the simulation service and starts its worker pool. Serve
+// it with net/http; stop it with Drain (graceful) or Close.
+func NewServer(o ServerOptions) (*Server, error) { return service.New(o) }
+
+// Client is the typed client for a running Server / vpserved daemon.
+type Client = client.Client
+
+// NewClient builds a client for the service at baseURL
+// (e.g. "http://127.0.0.1:8437").
+func NewClient(baseURL string) *Client { return client.New(baseURL) }

@@ -15,17 +15,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/benchkit"
 	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 // SteadyResult is the per-predictor steady-state measurement.
@@ -49,6 +55,19 @@ type Fig4Result struct {
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
+// ServerResult measures the service layer (internal/service) end to end:
+// several concurrent clients submit the same fig4 spec batch over HTTP to
+// an in-process server, so the number folds in scheduling, streaming, and —
+// because the batches overlap — the serving leverage of the shared memo.
+type ServerResult struct {
+	Clients     int     `json:"clients"`
+	Workers     int     `json:"workers"`
+	UniqueSpecs int     `json:"unique_specs"`
+	SpecsServed int     `json:"specs_served"`
+	WallSeconds float64 `json:"wall_s"`
+	SpecsPerSec float64 `json:"specs_per_sec"`
+}
+
 // Record is the full benchmark record written to BENCH_<label>.json.
 type Record struct {
 	Label       string             `json:"label"`
@@ -58,6 +77,7 @@ type Record struct {
 	Note        string             `json:"note,omitempty"`
 	Steady      []SteadyResult     `json:"steady,omitempty"`
 	Fig4        *Fig4Result        `json:"fig4,omitempty"`
+	Server      *ServerResult      `json:"server,omitempty"`
 	Before      *Record            `json:"before,omitempty"`
 	Speedups    map[string]float64 `json:"speedup_vs_before,omitempty"`
 }
@@ -106,6 +126,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs at 1 worker (%.0f uops/s), %.2fs at %d workers (%.2fx)\n",
 		f4.Specs, f4.WallSeconds1W, f4.UopsPerSec1W, f4.WallSecondsPar, f4.ParallelWorkers, f4.ParallelSpeedup)
 	rec.Fig4 = &f4
+
+	fmt.Fprintf(os.Stderr, "bench: vpserved throughput (fig4 batch x %d overlapping clients over HTTP)\n", serverClients)
+	sv, err := measureServer(*warmup, *measure, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  %d specs served in %.2fs = %.0f specs/s (%d unique, %d workers)\n",
+		sv.SpecsServed, sv.WallSeconds, sv.SpecsPerSec, sv.UniqueSpecs, sv.Workers)
+	rec.Server = &sv
 
 	if *before != "" {
 		prev, err := loadRecord(*before)
@@ -194,14 +223,7 @@ func measureSteady(kernel, predictor string, quick bool) (SteadyResult, error) {
 // halves; duplicates are removed so uops_total counts real simulations (the
 // session memo would dedupe them at run time anyway).
 func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
-	var specs []harness.Spec
-	seen := map[harness.Spec]bool{}
-	for _, sp := range harness.Fig4Specs() {
-		if !seen[sp] {
-			seen[sp] = true
-			specs = append(specs, sp)
-		}
-	}
+	specs := harness.DedupSpecs(harness.Fig4Specs())
 	perSim := warmup + measure
 
 	start := time.Now()
@@ -230,6 +252,73 @@ func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
 	}, nil
 }
 
+// serverClients is how many concurrent clients the server measurement runs;
+// their batches fully overlap, which is the service's intended load shape.
+const serverClients = 4
+
+// measureServer starts an in-process service (the same handler cmd/vpserved
+// serves), points serverClients typed clients at it over real HTTP, and has
+// each submit the deduplicated fig4 batch concurrently. The reported rate
+// is records served per wall-clock second — with overlapping batches this
+// measures the memo-backed serving leverage, not raw simulation speed.
+func measureServer(warmup, measure uint64, workers int) (ServerResult, error) {
+	srv, err := service.New(service.Options{Warmup: warmup, Measure: measure, Workers: workers})
+	if err != nil {
+		return ServerResult{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerResult{}, err
+	}
+	defer ln.Close()
+	go http.Serve(ln, srv)
+
+	var reqs []service.SpecRequest
+	for _, sp := range harness.DedupSpecs(harness.Fig4Specs()) {
+		reqs = append(reqs, service.RequestFor(sp))
+	}
+
+	ctx := context.Background()
+	base := "http://" + ln.Addr().String()
+	start := time.Now()
+	errs := make([]error, serverClients)
+	var wg sync.WaitGroup
+	for n := 0; n < serverClients; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := client.New(base)
+			st, err := c.SubmitBatch(ctx, reqs)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			final, err := c.Wait(ctx, st.ID)
+			if err == nil && final.State != service.StateDone {
+				err = fmt.Errorf("job %s finished %s: %s", final.ID, final.State, final.Error)
+			}
+			errs[n] = err
+		}(n)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ServerResult{}, err
+		}
+	}
+	served := serverClients * len(reqs)
+	return ServerResult{
+		Clients:     serverClients,
+		Workers:     workers,
+		UniqueSpecs: len(reqs),
+		SpecsServed: served,
+		WallSeconds: wall,
+		SpecsPerSec: float64(served) / wall,
+	}, nil
+}
+
 // speedups compares the headline numbers of two records. Steady comparisons
 // match by predictor name; fig4 compares effective single-thread µops/s.
 func speedups(cur, prev *Record) map[string]float64 {
@@ -245,6 +334,9 @@ func speedups(cur, prev *Record) map[string]float64 {
 	}
 	if cur.Fig4 != nil && prev.Fig4 != nil && prev.Fig4.UopsPerSec1W > 0 {
 		out["fig4_single_thread"] = cur.Fig4.UopsPerSec1W / prev.Fig4.UopsPerSec1W
+	}
+	if cur.Server != nil && prev.Server != nil && prev.Server.SpecsPerSec > 0 {
+		out["server_specs_per_sec"] = cur.Server.SpecsPerSec / prev.Server.SpecsPerSec
 	}
 	return out
 }

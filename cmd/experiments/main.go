@@ -16,9 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"repro"
 	"repro/internal/harness"
 )
 
@@ -46,9 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, e := range harness.Experiments() {
-			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
-		}
+		printIndex(stdout)
 		return 0
 	}
 
@@ -66,8 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *runID != "":
 		e, ok := harness.ExperimentByID(*runID)
 		if !ok {
-			fmt.Fprintf(stderr, "experiments: unknown id %q (have %s)\n",
-				*runID, strings.Join(repro.Experiments(), ", "))
+			fmt.Fprintf(stderr, "experiments: unknown id %q; the experiment index (DESIGN.md §5.1):\n", *runID)
+			printIndex(stderr)
 			return 2
 		}
 		if *format == "text" {
@@ -82,4 +78,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// printIndex writes the §5.1 experiment index: id and the paper artifact it
+// regenerates.
+func printIndex(w io.Writer) {
+	for _, e := range harness.Experiments() {
+		fmt.Fprintf(w, "%-9s %s\n", e.ID, e.Title)
+	}
 }

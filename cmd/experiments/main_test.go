@@ -63,6 +63,24 @@ func TestRunCSVHasHeaderAndRows(t *testing.T) {
 	}
 }
 
+// TestUnknownIDPrintsIndex: a bad -run id must fail with the full §5.1
+// experiment index (id + paper artifact), not a bare error.
+func TestUnknownIDPrintsIndex(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown id exited %d, want 2", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown id "fig99"`) {
+		t.Errorf("missing the offending id: %s", msg)
+	}
+	for _, want := range []string{"fig4", "abl-width", "Table 1", "selective reissue"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("index after unknown id missing %q:\n%s", want, msg)
+		}
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	cases := [][]string{
 		{"-run", "fig99"},           // unknown id

@@ -1,0 +1,165 @@
+// Command vpserved is the simulation-as-a-service daemon: one long-lived
+// harness session behind the /v1 HTTP job API (DESIGN.md §6), so kernel
+// traces and simulation results are cached across every request the
+// process ever answers.
+//
+// Usage:
+//
+//	vpserved                                  # listen on 127.0.0.1:8437
+//	vpserved -addr 127.0.0.1:0 -addr-file a   # random port, written to a
+//	vpserved -workers 8 -max-jobs 128         # sizing
+//
+// Try it:
+//
+//	curl -s localhost:8437/v1/healthz
+//	curl -s -X POST localhost:8437/v1/simulate \
+//	     -d '{"kernel":"art","predictor":"vtage","counters":"fpc"}'
+//	curl -s -X POST localhost:8437/v1/experiments/fig4   # -> {"id":"j000001",...}
+//	curl -sN localhost:8437/v1/jobs/j000001/stream       # NDJSON results
+//
+// SIGTERM or SIGINT drains gracefully: admission stops, running jobs
+// finish, the listener closes, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// Zero means "server default": the service layer's Options.WithDefaults
+	// is the single source of default sizing, so tuning it there changes
+	// the daemon and embedded servers together.
+	addr := flag.String("addr", "127.0.0.1:8437", "listen address (use port 0 for a random port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 0, "simulation workers shared by all requests (0: GOMAXPROCS)")
+	warmup := flag.Uint64("warmup", 0, "warmup µops per simulation (0: server default)")
+	measure := flag.Uint64("measure", 0, "measured µops per simulation (0: server default)")
+	maxJobs := flag.Int("max-jobs", 0, "max unfinished jobs admitted (0: server default)")
+	maxBatch := flag.Int("max-batch", 0, "max specs per batch or experiment (0: server default)")
+	reqTimeout := flag.Duration("request-timeout", 0, "synchronous /v1/simulate budget (0: server default)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "graceful shutdown budget")
+	flag.Parse()
+
+	log.SetPrefix("vpserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	opts := repro.ServerOptions{
+		Warmup:         *warmup,
+		Measure:        *measure,
+		Workers:        *workers,
+		MaxJobs:        *maxJobs,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *reqTimeout,
+	}.WithDefaults()
+	svc, err := repro.NewServer(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on %s (workers=%d warmup=%d measure=%d)",
+		bound, opts.Workers, opts.Warmup, opts.Measure)
+
+	httpSrv := &http.Server{
+		Handler: logRequests(svc),
+		// No WriteTimeout: /v1/jobs/{id}/stream stays open for the job's
+		// lifetime; per-request budgets are enforced by the service layer.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("received %s; draining", s)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	clean := true
+	if err := svc.Drain(ctx); err != nil {
+		clean = false
+		log.Printf("drain: %v (cancelling remaining jobs)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		clean = false
+		log.Printf("http shutdown: %v", err)
+	}
+	// Close cancels whatever Drain left behind, but an experiment job stuck
+	// in an uncancellable render (DESIGN.md §6.2) could outlive any budget —
+	// so Close itself is bounded by the remaining drain window plus a grace
+	// period rather than trusted to return.
+	closed := make(chan error, 1)
+	go func() { closed <- svc.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			clean = false
+			log.Printf("close: %v", err)
+		}
+	case <-time.After(*drainTimeout):
+		clean = false
+		log.Printf("close: timed out after %s with work still in flight", *drainTimeout)
+	}
+	if !clean {
+		log.Printf("shutdown finished with errors")
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+// logRequests is a minimal access log: method, path, status, duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush keeps streaming endpoints working through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -1,0 +1,89 @@
+// Service example: run one of the paper's experiments through the
+// simulation service and its typed client, streaming results as they land.
+//
+// With no arguments it starts an in-process server on a random port — a
+// self-contained demo of repro.NewServer + repro.NewClient:
+//
+//	go run ./examples/service
+//
+// Given a base URL it talks to a running vpserved daemon instead (this is
+// also the CI smoke driver for cmd/vpserved):
+//
+//	go run ./examples/service http://127.0.0.1:8437
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	var base string
+	if len(os.Args) > 1 {
+		base = os.Args[1]
+	} else {
+		// Self-contained mode: an in-process service on a random port,
+		// sized for interactive latency.
+		srv, err := repro.NewServer(repro.ServerOptions{Warmup: 2_000, Measure: 8_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, srv)
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("in-process vpserved on %s\n", base)
+	}
+
+	c := repro.NewClient(base)
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatalf("healthz: %v", err)
+	}
+	fmt.Printf("server healthy (up %.1fs)\n", h.UptimeS)
+
+	// Submit Fig. 1 (back-to-back VP-eligible fetches: one baseline run per
+	// kernel) and stream records as simulations finish.
+	job, err := c.SubmitExperiment(ctx, "fig1")
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("job %s accepted (%d specs)\n", job.ID, job.Specs)
+	if _, err := c.Stream(ctx, job.ID, func(ev repro.ServiceEvent) error {
+		if ev.Type == "record" && ev.Record != nil {
+			fmt.Printf("  %-10s IPC %.3f\n", ev.Record.Kernel, ev.Record.IPC)
+		}
+		return nil
+	}); err != nil {
+		log.Fatalf("stream: %v", err)
+	}
+	final, err := c.Job(ctx, job.ID)
+	if err != nil {
+		log.Fatalf("job: %v", err)
+	}
+	if final.State != "done" {
+		log.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	fmt.Printf("\n%s\n", final.Artifact)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("statsz: %v", err)
+	}
+	fmt.Printf("server stats: %d simulations run, %d memo hits, %d workers\n",
+		stats.MemoMisses, stats.MemoHits, stats.Workers)
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 // predictor — the hook for ablations that vary predictor parameters outside
 // the named configurations. Results are not memoized.
 func (se *Session) RunCustom(kernel string, rec pipeline.RecoveryMode, mk func(h *ghist.History) core.Predictor) (*pipeline.Stats, error) {
-	tr, err := se.trace(kernel)
+	tr, err := se.trace(context.Background(), kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +144,7 @@ func runAblHist(se *Session, w io.Writer) error {
 func runProfile(se *Session, w io.Writer) error {
 	fmt.Fprintln(w, stats.Header())
 	for _, k := range KernelNames() {
-		tr, err := se.trace(k)
+		tr, err := se.trace(context.Background(), k)
 		if err != nil {
 			return err
 		}
@@ -169,7 +170,7 @@ func runAblLoads(se *Session, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tr, err := se.trace(k)
+		tr, err := se.trace(context.Background(), k)
 		if err != nil {
 			return err
 		}
@@ -206,7 +207,7 @@ func runAblWidth(se *Session, w io.Writer) error {
 	for _, k := range []string{"art", "parser", "gamess", "gcc"} {
 		fmt.Fprintf(w, "%-10s", k)
 		for _, wd := range widthPoints {
-			tr, err := se.trace(k)
+			tr, err := se.trace(context.Background(), k)
 			if err != nil {
 				return err
 			}

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,6 +57,83 @@ func TestWriteCSVGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "records.golden.csv", buf.Bytes())
+}
+
+// failingWriter accepts `allow` bytes and then fails every write — a stand-in
+// for a sink (pipe, socket, full disk) dying mid-stream.
+type failingWriter struct {
+	allow   int
+	written int
+}
+
+var errSinkClosed = errors.New("sink closed")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.allow {
+		n := 0
+		if w.allow > w.written {
+			n = w.allow - w.written
+		}
+		w.written += n
+		return n, errSinkClosed
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// manyRecords is big enough to overflow every internal buffer on the emit
+// path (csv.Writer fronts its sink with a 4KiB bufio.Writer, so small
+// outputs only surface write errors at Flush).
+func manyRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = goldenRecords()[i%2]
+		recs[i].Committed = uint64(i)
+	}
+	return recs
+}
+
+// TestWriteJSONWriterError: a writer failure must surface as WriteJSON's
+// error, whether the sink dies immediately or mid-stream.
+func TestWriteJSONWriterError(t *testing.T) {
+	for _, allow := range []int{0, 512} {
+		w := &failingWriter{allow: allow}
+		err := WriteJSON(w, manyRecords(64))
+		if !errors.Is(err, errSinkClosed) {
+			t.Errorf("allow=%d: WriteJSON returned %v, want the sink error", allow, err)
+		}
+	}
+}
+
+// TestWriteCSVWriterError covers the three places a dying sink can surface
+// in WriteCSV: the header write, a row write mid-stream, and the final
+// flush.
+func TestWriteCSVWriterError(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		allow int
+		recs  []Record
+	}{
+		{"immediately", 0, manyRecords(64)},
+		{"mid-stream", 8 << 10, manyRecords(256)},
+		{"at flush", 16, manyRecords(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := &failingWriter{allow: tc.allow}
+			err := WriteCSV(w, tc.recs)
+			if !errors.Is(err, errSinkClosed) {
+				t.Errorf("WriteCSV returned %v, want the sink error", err)
+			}
+		})
+	}
+	// And the success path really does flush everything it was given.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, manyRecords(256)); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 257 {
+		t.Errorf("got %d CSV lines, want 257", lines)
+	}
 }
 
 // TestRecordFieldNamesStable ties the JSON keys to the CSV header: both are

@@ -11,6 +11,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -183,14 +185,20 @@ func NewSession(warmup, measure uint64) *Session {
 func DefaultSession() *Session { return NewSession(50_000, 250_000) }
 
 // trace returns the kernel's instruction trace, generating it on first use.
-// Concurrent requests for the same kernel share one generation.
-func (se *Session) trace(kernel string) ([]isa.DynInst, error) {
+// Concurrent requests for the same kernel share one generation. ctx aborts
+// only this caller's wait: the generation itself always runs to completion,
+// because a trace is kernel-wide shared state every future run will want.
+func (se *Session) trace(ctx context.Context, kernel string) ([]isa.DynInst, error) {
 	se.mu.Lock()
 	c, ok := se.traces[kernel]
 	if ok {
 		se.mu.Unlock()
-		<-c.done
-		return c.tr, c.err
+		select {
+		case <-c.done:
+			return c.tr, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	c = &traceCall{done: make(chan struct{})}
 	se.traces[kernel] = c
@@ -208,28 +216,77 @@ func (se *Session) trace(kernel string) ([]isa.DynInst, error) {
 // Run simulates spec (memoized) and returns its result. Concurrent calls
 // with the same spec share one simulation; errors are memoized too.
 func (se *Session) Run(spec Spec) (*Result, error) {
-	se.mu.Lock()
-	c, ok := se.memo[spec]
-	if ok {
-		se.hits++
+	return se.RunCtx(context.Background(), spec)
+}
+
+// IsContextErr reports whether err is (or wraps) a cancellation or deadline
+// error — caller state, not a property of the spec. The session uses it to
+// decide what not to memoize; the service layer uses the same predicate to
+// classify job outcomes, so the two can never drift.
+func IsContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunCtx is Run with cancellation. ctx aborts both waiting on another
+// goroutine's in-flight simulation and the simulation loop itself (the loop
+// checks the context every cancelChunk committed µops, so a cancelled caller
+// stops burning CPU promptly). A run abandoned by cancellation is not
+// memoized: its memo entry is removed before waiters wake, so the next
+// request re-simulates, and goroutines that joined the abandoned entry with
+// a live context of their own transparently retry as the new owner.
+func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
+	counted := false
+	for {
+		se.mu.Lock()
+		c, ok := se.memo[spec]
+		if ok {
+			if !counted {
+				se.hits++
+				counted = true
+			}
+			se.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil || !IsContextErr(c.err) {
+				return c.res, c.err
+			}
+			// The owner abandoned this entry (and deleted it). Retry under
+			// our own context unless we were cancelled too.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if counted {
+			// A retry after an abandoned owner starts a simulation after
+			// all: recount the earlier hit as a miss so hits+misses still
+			// equals the number of RunCtx calls.
+			se.hits--
+		}
+		se.misses++
+		counted = true
+		c = &runCall{done: make(chan struct{})}
+		se.memo[spec] = c
 		se.mu.Unlock()
-		<-c.done
+
+		c.res, c.err = se.simulate(ctx, spec)
+		if c.err != nil && IsContextErr(c.err) {
+			se.mu.Lock()
+			delete(se.memo, spec)
+			se.mu.Unlock()
+		}
+		close(c.done)
 		return c.res, c.err
 	}
-	c = &runCall{done: make(chan struct{})}
-	se.memo[spec] = c
-	se.misses++
-	se.mu.Unlock()
-
-	c.res, c.err = se.simulate(spec)
-	close(c.done)
-	return c.res, c.err
 }
 
 // simulate performs one uncached run. The trace lookup is itself
 // singleflighted, so concurrent first runs of one kernel build its trace once.
-func (se *Session) simulate(spec Spec) (*Result, error) {
-	tr, err := se.trace(spec.Kernel)
+func (se *Session) simulate(ctx context.Context, spec Spec) (*Result, error) {
+	tr, err := se.trace(ctx, spec.Kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -241,12 +298,56 @@ func (se *Session) simulate(spec Spec) (*Result, error) {
 	cfg := pipeline.DefaultConfig()
 	cfg.Recovery = spec.Recovery
 	sim := pipeline.New(cfg, tr, pred, h)
-	st, err := sim.Run(se.Warmup, se.Measure)
+	var st *pipeline.Stats
+	if ctx.Done() == nil {
+		st, err = sim.Run(se.Warmup, se.Measure)
+	} else {
+		st, err = se.runCancellable(ctx, sim, uint64(len(tr)))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%s/%s: %w",
 			spec.Kernel, spec.Predictor, spec.Counters, spec.Recovery, err)
 	}
 	return &Result{Spec: spec, Stats: *st}, nil
+}
+
+// cancelChunk is the µop granularity at which a cancellable simulation
+// checks its context between Advance calls: small enough that a cancelled
+// job frees its worker within a few milliseconds, large enough that the
+// per-chunk bookkeeping is invisible next to the simulate loop.
+const cancelChunk = 25_000
+
+// runCancellable produces the exact machine state Run(Warmup, Measure)
+// would: Advance targets absolute commit counts and pausing between cycles
+// is state-neutral, so chunking changes nothing but the cancellation
+// latency. The warmup window runs in one piece (Run must set the
+// measurement boundary itself); cancellation granularity during measurement
+// is cancelChunk µops.
+func (se *Session) runCancellable(ctx context.Context, sim *pipeline.Sim, traceLen uint64) (*pipeline.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := se.Warmup + se.Measure
+	if total > traceLen {
+		total = traceLen
+	}
+	st, err := sim.Run(se.Warmup, 0)
+	if err != nil {
+		return nil, err
+	}
+	for st.Committed < total {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := total - st.Committed
+		if n > cancelChunk {
+			n = cancelChunk
+		}
+		if st, err = sim.Advance(n); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
 }
 
 // MemoStats reports memo effectiveness: misses is the number of simulations

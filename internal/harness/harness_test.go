@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -287,7 +288,7 @@ func TestRenderFormats(t *testing.T) {
 // TestPredictLoadsOnlyRestrictsEligibility checks the loads-only switch.
 func TestPredictLoadsOnlyRestrictsEligibility(t *testing.T) {
 	se := NewSession(2_000, 20_000)
-	tr, err := se.trace("parser")
+	tr, err := se.trace(context.Background(), "parser")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -13,6 +14,14 @@ import (
 // the first failure in spec order is returned; results holds every run that
 // did complete.
 func (se *Session) RunAll(specs []Spec, workers int) ([]*Result, error) {
+	return se.RunAllCtx(context.Background(), specs, workers)
+}
+
+// RunAllCtx is RunAll with cancellation: once ctx is done, unstarted specs
+// are abandoned with ctx's error, in-flight simulations stop at their next
+// cancellation checkpoint, and the call returns. Results that completed
+// before the cancellation are still populated.
+func (se *Session) RunAllCtx(ctx context.Context, specs []Spec, workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -26,7 +35,11 @@ func (se *Session) RunAll(specs []Spec, workers int) ([]*Result, error) {
 	errs := make([]error, len(specs))
 	if workers <= 1 {
 		for i, s := range specs {
-			results[i], errs[i] = se.Run(s)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = se.RunCtx(ctx, s)
 		}
 		return results, firstError(errs)
 	}
@@ -38,16 +51,43 @@ func (se *Session) RunAll(specs []Spec, workers int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = se.Run(specs[i])
+				results[i], errs[i] = se.RunCtx(ctx, specs[i])
 			}
 		}()
 	}
+feed:
 	for i := range specs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Workers only ever touch fed indexes, so marking the rest
+			// here is race-free.
+			for j := i; j < len(specs); j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return results, firstError(errs)
+}
+
+// DedupSpecs returns specs with exact duplicates removed, keeping
+// first-appearance order — the one definition of "unique specs" the
+// benchmarks and the service layer share. Declared spec sets repeat
+// per-kernel baselines across figure halves; the memo makes the duplicates
+// free at run time, but counting or costing a batch wants them gone.
+func DedupSpecs(specs []Spec) []Spec {
+	seen := make(map[Spec]bool, len(specs))
+	out := make([]Spec, 0, len(specs))
+	for _, sp := range specs {
+		if !seen[sp] {
+			seen[sp] = true
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 // ParallelRun is the package-level form of Session.RunAll, for callers that

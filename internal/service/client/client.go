@@ -1,0 +1,227 @@
+// Package client is the typed Go client for the vpserved simulation
+// service (internal/service). It wraps the /v1 JSON API: synchronous
+// simulation, batch and experiment job submission, status polling, NDJSON
+// result streaming, and cancellation. Reachable from outside the module via
+// the repro facade (repro.NewClient).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// Client talks to one vpserved instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the server at base (e.g. "http://127.0.0.1:8437").
+// The underlying http.Client has no timeout: per-call budgets come from the
+// caller's context, and streams live as long as their job runs.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// NewWithHTTPClient uses a caller-supplied http.Client (tests, custom
+// transports).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// do performs one JSON round-trip. in == nil sends no body; out == nil
+// discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var env struct {
+		Error string `json:"error"`
+	}
+	buf, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(buf, &env) != nil || env.Error == "" {
+		env.Error = strings.TrimSpace(string(buf))
+	}
+	return &APIError{Status: resp.StatusCode, Message: env.Error}
+}
+
+// Simulate runs one spec synchronously (POST /v1/simulate) and returns its
+// flattened record, speedup included.
+func (c *Client) Simulate(ctx context.Context, spec service.SpecRequest) (harness.Record, error) {
+	var rec harness.Record
+	err := c.do(ctx, http.MethodPost, "/v1/simulate", spec, &rec)
+	return rec, err
+}
+
+// SubmitBatch submits a spec batch (POST /v1/batch) and returns the
+// accepted job's status.
+func (c *Client) SubmitBatch(ctx context.Context, specs []service.SpecRequest) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/batch", service.BatchRequest{Specs: specs}, &st)
+	return st, err
+}
+
+// SubmitExperiment submits one §5.1 experiment by id (POST
+// /v1/experiments/{id}).
+func (c *Client) SubmitExperiment(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/experiments/"+id, struct{}{}, &st)
+	return st, err
+}
+
+// Job fetches a job's current status (GET /v1/jobs/{id}); records and
+// artifact are included once the job is done.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every retained job, newest last (GET /v1/jobs).
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a job (DELETE /v1/jobs/{id}) and returns its status.
+// Cancelling a finished job is a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Stream follows a job's NDJSON event stream (GET /v1/jobs/{id}/stream),
+// invoking fn for every event (fn may be nil), and returns the terminal
+// status carried by the final "done" event. A non-nil error from fn aborts
+// the stream and is returned.
+func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) error) (service.JobStatus, error) {
+	var final service.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return final, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return final, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return final, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20) // experiment artifacts ride one line
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return final, fmt.Errorf("service: bad stream line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return final, err
+			}
+		}
+		if ev.Type == "done" && ev.Job != nil {
+			return *ev.Job, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, err
+	}
+	return final, fmt.Errorf("service: stream for job %s ended without a done event", id)
+}
+
+// Wait streams the job to completion, discarding events, and then fetches
+// the full terminal status (records and artifact included). If the job was
+// evicted by the server's finished-job retention between the stream ending
+// and the fetch, the stream's own terminal status (which omits the record
+// list) is returned instead of a spurious not-found error.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	final, err := c.Stream(ctx, id, nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	full, err := c.Job(ctx, id)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			return final, nil
+		}
+		return service.JobStatus{}, err
+	}
+	return full, nil
+}
+
+// Experiments lists the server's experiment index (GET /v1/experiments).
+func (c *Client) Experiments(ctx context.Context) ([]service.ExperimentInfo, error) {
+	var out []service.ExperimentInfo
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// Health fetches GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (service.Health, error) {
+	var h service.Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}
+
+// Stats fetches GET /v1/statsz.
+func (c *Client) Stats(ctx context.Context) (service.ServerStats, error) {
+	var st service.ServerStats
+	err := c.do(ctx, http.MethodGet, "/v1/statsz", nil, &st)
+	return st, err
+}

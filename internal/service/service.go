@@ -1,0 +1,577 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Options configures a Server. The zero value is usable: every field has a
+// serving-oriented default.
+type Options struct {
+	Warmup  uint64 // µops before measurement per simulation (default 50_000)
+	Measure uint64 // measured µops per simulation (default 250_000)
+	Workers int    // simulation workers shared by all requests (<=0: GOMAXPROCS)
+
+	MaxJobs        int           // max unfinished jobs admitted (default 64)
+	MaxBatch       int           // max specs per batch or experiment (default 4096)
+	RequestTimeout time.Duration // synchronous endpoint budget (default 2m)
+}
+
+// WithDefaults resolves every unset field to its serving default — the one
+// place those defaults live. New applies it; cmd/vpserved calls it to log
+// (and document) the values a zero-configured daemon actually runs with.
+func (o Options) WithDefaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 50_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 250_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// Server is the simulation service: one process-lifetime Session, one
+// bounded worker pool, an in-memory job store, and the /v1 HTTP API on top.
+// Construct with New, serve it as an http.Handler, stop with Drain (finish
+// everything first) or Close (cancel everything).
+type Server struct {
+	opts    Options
+	session *harness.Session
+	sched   *scheduler
+	mux     *http.ServeMux
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	start   time.Time
+	nextID  atomic.Uint64
+	syncWG  sync.WaitGroup // in-flight synchronous simulations
+
+	// renderSem serializes experiment-artifact renders. Spec simulation is
+	// bounded by the worker pool, but render-driven experiments (profile,
+	// abl-*) simulate inside Experiment.Run on the job goroutine; without
+	// this bound, MaxJobs such jobs could run that work concurrently.
+	renderSem chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for retention and listing
+	active   int      // jobs not yet in a terminal state
+	draining bool
+}
+
+// finishedJobRetention bounds how many terminal jobs stay queryable; the
+// oldest are evicted first. Active jobs are never evicted.
+const finishedJobRetention = 256
+
+// New builds a Server and starts its worker pool.
+func New(o Options) (*Server, error) {
+	o = o.WithDefaults()
+	s := &Server{
+		opts:      o,
+		session:   harness.NewSession(o.Warmup, o.Measure),
+		jobs:      make(map[string]*job),
+		renderSem: make(chan struct{}, 1),
+		start:     time.Now(),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.sched = newScheduler(s.session, o.Workers)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Session exposes the shared session (benchmarks and tests compare service
+// results against direct harness runs).
+func (s *Server) Session() *harness.Session { return s.session }
+
+// Drain stops admitting work and waits until every job has reached a
+// terminal state (in-flight jobs run to completion) and every in-flight
+// synchronous request has answered. ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	waiting := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		waiting = append(waiting, j)
+	}
+	s.mu.Unlock()
+	for _, j := range waiting {
+		select {
+		case <-j.doneCh:
+		case <-ctx.Done():
+			return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+		}
+	}
+	syncDone := make(chan struct{})
+	go func() {
+		s.syncWG.Wait()
+		close(syncDone)
+	}()
+	select {
+	case <-syncDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close cancels every job and synchronous request, waits for them to
+// settle, and stops the worker pool. Safe to call after Drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	waiting := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		waiting = append(waiting, j)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, j := range waiting {
+		<-j.doneCh
+	}
+	s.syncWG.Wait()
+	s.sched.close()
+	return nil
+}
+
+func (s *Server) nextJobID() string {
+	return fmt.Sprintf("j%06d", s.nextID.Add(1))
+}
+
+// admit registers a new job, enforcing the admission limits.
+func (s *Server) admit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	if s.active >= s.opts.MaxJobs {
+		return errQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.active++
+	return nil
+}
+
+// jobFinished updates admission accounting and evicts the oldest finished
+// jobs beyond the retention bound.
+func (s *Server) jobFinished() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	finished := len(s.jobs) - s.active
+	if finished <= finishedJobRetention {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		terminal := terminalState(j.state)
+		j.mu.Unlock()
+		if terminal && finished > finishedJobRetention {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+var (
+	errDraining  = errors.New("server is draining; not accepting new work")
+	errQueueFull = errors.New("job queue full")
+)
+
+// apiError writes the uniform JSON error envelope.
+func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		apiError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// admissionStatus maps an admission error to its HTTP status.
+func admissionStatus(err error) int {
+	if errors.Is(err, errDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusTooManyRequests
+}
+
+// handleSimulate runs one spec synchronously within the request budget,
+// scheduling it (and the baseline its speedup needs) through the shared
+// worker pool, and answers with the flattened Record.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SpecRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The draining check and the syncWG.Add share one critical section:
+	// Drain/Close set draining under s.mu before waiting on syncWG, so
+	// every Add is either ordered before the flag flip (and thus seen by
+	// the Wait) or never happens — the Add-from-zero-concurrent-with-Wait
+	// case sync.WaitGroup forbids cannot occur.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		apiError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	s.syncWG.Add(1)
+	s.mu.Unlock()
+	defer s.syncWG.Done()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel) // Close aborts sync work too
+	defer stop()
+
+	sink := &syncSink{ctx: ctx, ch: make(chan syncDelivery, 2)}
+	specsToRun := []harness.Spec{spec}
+	if spec.Predictor != "none" {
+		specsToRun = append(specsToRun, spec.Baseline())
+	}
+	for i, sp := range specsToRun {
+		if err := s.sched.submit(task{sink: sink, idx: i, spec: sp}); err != nil {
+			code := http.StatusServiceUnavailable
+			if harness.IsContextErr(err) {
+				// The RequestTimeout expired while queueing: same outcome
+				// (and same status) as timing out later in the wait.
+				code = http.StatusGatewayTimeout
+			}
+			apiError(w, code, "%v", err)
+			return
+		}
+	}
+	var res *harness.Result
+	for range specsToRun {
+		var d syncDelivery
+		select {
+		case d = <-sink.ch:
+		case <-ctx.Done():
+			// The RequestTimeout budget applies even while parked behind
+			// other jobs (queued, or coalesced onto an in-flight run); the
+			// cancelled context makes any eventual delivery a cheap drop.
+			apiError(w, http.StatusGatewayTimeout, "%v", ctx.Err())
+			return
+		}
+		if d.err != nil {
+			code := http.StatusInternalServerError
+			if harness.IsContextErr(d.err) {
+				code = http.StatusGatewayTimeout
+			}
+			apiError(w, code, "%v", d.err)
+			return
+		}
+		if d.idx == 0 {
+			res = d.res
+		}
+	}
+	rec, err := s.session.Record(res)
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// syncSink collects deliveries for the synchronous path.
+type syncSink struct {
+	ctx context.Context
+	ch  chan syncDelivery
+}
+
+type syncDelivery struct {
+	idx int
+	res *harness.Result
+	err error
+}
+
+func (s *syncSink) taskCtx() context.Context { return s.ctx }
+func (s *syncSink) deliver(idx int, res *harness.Result, err error) {
+	s.ch <- syncDelivery{idx, res, err}
+}
+
+// handleBatch admits a batch job and answers 202 with its status.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		apiError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Specs) > s.opts.MaxBatch {
+		apiError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d specs exceeds the %d-spec limit", len(req.Specs), s.opts.MaxBatch)
+		return
+	}
+	specs := make([]harness.Spec, len(req.Specs))
+	for i, sr := range req.Specs {
+		sp, err := sr.Spec()
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		specs[i] = sp
+	}
+	s.startJob(w, r, "batch", "", specs)
+}
+
+// handleExperiment admits a job for one §5.1 experiment id.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := harness.ExperimentByID(id)
+	if !ok {
+		var b strings.Builder
+		for _, e := range harness.Experiments() {
+			fmt.Fprintf(&b, "%s (%s); ", e.ID, e.Title)
+		}
+		apiError(w, http.StatusNotFound, "unknown experiment %q; available: %s", id, b.String())
+		return
+	}
+	var specs []harness.Spec
+	if e.Specs != nil {
+		specs = e.Specs()
+	}
+	if len(specs) > s.opts.MaxBatch {
+		apiError(w, http.StatusRequestEntityTooLarge,
+			"experiment %q declares %d specs, exceeding the %d-spec limit", id, len(specs), s.opts.MaxBatch)
+		return
+	}
+	s.startJob(w, r, "experiment", id, specs)
+}
+
+func (s *Server) startJob(w http.ResponseWriter, r *http.Request, kind, expID string, specs []harness.Spec) {
+	j := s.newJob(kind, expID, specs)
+	if err := s.admit(j); err != nil {
+		j.cancel()
+		apiError(w, admissionStatus(err), "%v", err)
+		return
+	}
+	go j.run()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		apiError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.statusLight() // listing stays light
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCancel cancels a job (idempotent: cancelling a finished job leaves
+// it as it ended) and returns its current status.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	terminal := terminalState(j.state)
+	j.mu.Unlock()
+	if !terminal {
+		j.cancelJob()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStream streams a job's events as NDJSON (one Event per line), or as
+// SSE when the client asks for text/event-stream. Already-emitted events
+// replay first; the stream ends after the "done" event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsub := j.subscribe()
+	defer unsub()
+	enc := json.NewEncoder(w)
+	emit := func(ev Event) bool {
+		if sse {
+			fmt.Fprintf(w, "data: ")
+		}
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if sse {
+			fmt.Fprintf(w, "\n")
+		}
+		flusher.Flush()
+		return ev.Type != "done"
+	}
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-live:
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range harness.Experiments() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		OK:       true,
+		UptimeS:  time.Since(s.start).Seconds(),
+		Draining: draining,
+	})
+}
+
+// Stats snapshots the observable server state (the /v1/statsz body).
+func (s *Server) Stats() ServerStats {
+	hits, misses := s.session.MemoStats()
+	s.mu.Lock()
+	jobs := make(map[string]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		jobs[j.state]++
+		j.mu.Unlock()
+	}
+	active, draining := s.active, s.draining
+	s.mu.Unlock()
+	return ServerStats{
+		Workers:     s.opts.Workers,
+		BusyWorkers: int(s.sched.busy.Load()),
+		QueuedTasks: int(s.sched.queued.Load()),
+		Coalesced:   s.sched.coalesced.Load(),
+		MemoHits:    hits,
+		MemoMisses:  misses,
+		Jobs:        jobs,
+		ActiveJobs:  active,
+		Draining:    draining,
+		Limits: Limits{
+			MaxJobs:          s.opts.MaxJobs,
+			MaxBatch:         s.opts.MaxBatch,
+			RequestTimeoutMs: s.opts.RequestTimeout.Milliseconds(),
+			Warmup:           s.opts.Warmup,
+			Measure:          s.opts.Measure,
+		},
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,447 @@
+// The end-to-end tests live outside the package so they can use the typed
+// client (which imports service); the dot-import keeps the wire types
+// readable.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	. "repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// testWindows are small enough that the full fig4 batch stays fast under
+// -race while still exercising real simulations.
+const (
+	testWarmup  = 1_000
+	testMeasure = 4_000
+)
+
+func newTestServer(t testing.TB, o Options) (*Server, *client.Client, *httptest.Server) {
+	t.Helper()
+	if o.Warmup == 0 {
+		o.Warmup = testWarmup
+	}
+	if o.Measure == 0 {
+		o.Measure = testMeasure
+	}
+	srv, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, client.New(ts.URL), ts
+}
+
+// specRequests converts harness specs to their wire form.
+func specRequests(specs []harness.Spec) []SpecRequest {
+	out := make([]SpecRequest, len(specs))
+	for i, s := range specs {
+		out[i] = RequestFor(s)
+	}
+	return out
+}
+
+// TestServerEndToEndConcurrentClients is the subsystem's acceptance test
+// (run it with -race): several clients concurrently submit overlapping fig4
+// spec batches; every job's records must be byte-identical to a sequential
+// Session.Records over the same specs on a fresh session, and the shared
+// memo must show cross-request hits afterwards.
+func TestServerEndToEndConcurrentClients(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{Workers: 4})
+	specs := harness.Fig4Specs()
+	reqs := specRequests(specs)
+
+	// The sequential reference on an independent session.
+	ref := harness.NewSession(testWarmup, testMeasure)
+	want, err := ref.Records(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	got := make([][]harness.Record, clients)
+	streamed := make([]int, clients)
+	errs := make([]error, clients)
+	for n := 0; n < clients; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			st, err := c.SubmitBatch(ctx, reqs)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			if _, err := c.Stream(ctx, st.ID, func(ev Event) error {
+				if ev.Type == "record" {
+					streamed[n]++
+				}
+				return nil
+			}); err != nil {
+				errs[n] = err
+				return
+			}
+			final, err := c.Job(ctx, st.ID)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			if final.State != StateDone {
+				errs[n] = fmt.Errorf("job %s finished %s: %s", final.ID, final.State, final.Error)
+				return
+			}
+			got[n] = final.Records
+		}(n)
+	}
+	wg.Wait()
+	for n, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", n, err)
+		}
+	}
+	for n := 0; n < clients; n++ {
+		gotJSON, err := json.Marshal(got[n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("client %d: served records differ from sequential RunAll records", n)
+		}
+		if streamed[n] != len(specs) {
+			t.Errorf("client %d: streamed %d record events, want %d", n, streamed[n], len(specs))
+		}
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MemoHits == 0 {
+		t.Error("no cross-request memo hits after overlapping batches")
+	}
+	if stats.BusyWorkers != 0 {
+		t.Errorf("%d workers still busy after all jobs finished", stats.BusyWorkers)
+	}
+	if stats.Jobs[StateDone] != clients {
+		t.Errorf("statsz job census %v, want %d done", stats.Jobs, clients)
+	}
+}
+
+// TestServerCancelFreesWorkers: cancelling a job must release its workers,
+// observable through /v1/statsz, and leave the job canceled — while the
+// memo stays healthy for later runs of the same specs.
+func TestServerCancelFreesWorkers(t *testing.T) {
+	// Long measurement windows so the batch is mid-flight when cancelled.
+	_, c, _ := newTestServer(t, Options{Workers: 2, Warmup: 10_000, Measure: 1_500_000})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	var reqs []SpecRequest
+	for _, k := range []string{"gzip", "art"} {
+		for _, p := range []string{"none", "lvp", "stride"} {
+			reqs = append(reqs, SpecRequest{Kernel: k, Predictor: p})
+		}
+	}
+	st, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor := func(what string, cond func(ServerStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cond(stats) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor("workers busy", func(s ServerStats) bool { return s.BusyWorkers > 0 })
+
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("workers freed", func(s ServerStats) bool {
+		return s.BusyWorkers == 0 && s.QueuedTasks == 0
+	})
+
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("cancelled job is %q, want %q", final.State, StateCanceled)
+	}
+	// The abandoned runs must not have been memoized as failures: a small
+	// follow-up simulate of one of the same specs succeeds.
+	rec, err := c.Simulate(ctx, SpecRequest{Kernel: "gzip", Predictor: "none"})
+	if err != nil {
+		t.Fatalf("simulate after cancel: %v", err)
+	}
+	if rec.IPC <= 0 {
+		t.Errorf("post-cancel simulate returned empty record: %+v", rec)
+	}
+}
+
+// TestSimulateSync covers the synchronous endpoint: a valid spec returns a
+// record with a real speedup; bad specs are 400s.
+func TestSimulateSync(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{})
+	ctx := context.Background()
+	rec, err := c.Simulate(ctx, SpecRequest{Kernel: "art", Predictor: "vtage", Counters: "fpc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kernel != "art" || rec.Predictor != "vtage" || rec.Speedup <= 0 {
+		t.Errorf("bad record: %+v", rec)
+	}
+	for _, bad := range []SpecRequest{
+		{Kernel: "nope", Predictor: "lvp"},
+		{Kernel: "art", Predictor: "nope"},
+		{Kernel: "art", Predictor: "lvp", Counters: "nope"},
+		{Kernel: "art", Predictor: "lvp", Recovery: "nope"},
+	} {
+		if _, err := c.Simulate(ctx, bad); err == nil {
+			t.Errorf("bad spec %+v accepted", bad)
+		} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 400 {
+			t.Errorf("bad spec %+v: got %v, want HTTP 400", bad, err)
+		}
+	}
+}
+
+// TestExperimentJob runs one experiment end to end and pins the artifact
+// against the harness's direct text rendering.
+func TestExperimentJob(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{Workers: 4})
+	ctx := context.Background()
+	st, err := c.SubmitExperiment(ctx, "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("fig1 job finished %s: %s", final.State, final.Error)
+	}
+	if len(final.Records) != 19 {
+		t.Errorf("fig1 job returned %d records, want 19", len(final.Records))
+	}
+
+	e, _ := harness.ExperimentByID("fig1")
+	var want bytes.Buffer
+	if err := harness.Render(harness.NewSession(testWarmup, testMeasure), e, "text", 1, &want); err != nil {
+		t.Fatal(err)
+	}
+	if final.Artifact != want.String() {
+		t.Errorf("experiment artifact differs from direct render:\n--- service\n%s--- direct\n%s",
+			final.Artifact, want.String())
+	}
+
+	// Text-only experiments (no declared specs) also work as jobs.
+	st, err = c.SubmitExperiment(ctx, "table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err = c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || !strings.Contains(final.Artifact, "Kernel") {
+		t.Errorf("table3 job: state=%s artifact=%q", final.State, final.Artifact)
+	}
+}
+
+// TestUnknownExperimentListsIndex: a bad experiment id must fail with the
+// available index, not a bare error.
+func TestUnknownExperimentListsIndex(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{})
+	_, err := c.SubmitExperiment(context.Background(), "fig99")
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Status != 404 {
+		t.Fatalf("got %v, want HTTP 404", err)
+	}
+	for _, id := range []string{"fig4", "table1", "abl-width"} {
+		if !strings.Contains(apiErr.Message, id) {
+			t.Errorf("404 message does not list %q: %s", id, apiErr.Message)
+		}
+	}
+}
+
+// TestAdmissionLimits: job-count and batch-size limits reject with 429/413,
+// and a draining server answers 503.
+func TestAdmissionLimits(t *testing.T) {
+	srv, c, _ := newTestServer(t, Options{Workers: 1, MaxJobs: 1, MaxBatch: 4, Warmup: 10_000, Measure: 1_000_000})
+	ctx := context.Background()
+
+	big := specRequests([]harness.Spec{
+		{Kernel: "gzip", Predictor: "none"}, {Kernel: "gzip", Predictor: "lvp"},
+		{Kernel: "art", Predictor: "none"}, {Kernel: "art", Predictor: "lvp"},
+		{Kernel: "parser", Predictor: "none"},
+	})
+	if _, err := c.SubmitBatch(ctx, big); err == nil {
+		t.Error("oversized batch accepted")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 413 {
+		t.Errorf("oversized batch: got %v, want HTTP 413", err)
+	}
+
+	st, err := c.SubmitBatch(ctx, big[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitBatch(ctx, big[2:4]); err == nil {
+		t.Error("second job accepted beyond MaxJobs=1")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 429 {
+		t.Errorf("full queue: got %v, want HTTP 429", err)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain: no new work, health reports draining, old jobs stay readable.
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitBatch(ctx, big[:1]); err == nil {
+		t.Error("draining server accepted a job")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 503 {
+		t.Errorf("draining submit: got %v, want HTTP 503", err)
+	}
+	if _, err := c.Simulate(ctx, big[0]); err == nil {
+		t.Error("draining server accepted a synchronous simulate")
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || !h.Draining {
+		t.Errorf("health while draining: %+v", h)
+	}
+	if _, err := c.Job(ctx, st.ID); err != nil {
+		t.Errorf("finished job unreadable while draining: %v", err)
+	}
+}
+
+// TestStreamFormats checks both stream transports: NDJSON replay for an
+// already-finished job, and SSE framing.
+func TestStreamFormats(t *testing.T) {
+	_, c, ts := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+	reqs := specRequests([]harness.Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "gzip", Predictor: "lvp"},
+	})
+	st, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// NDJSON replay after completion: full event history, then done.
+	var types []string
+	final, err := c.Stream(ctx, st.ID, func(ev Event) error {
+		types = append(types, ev.Type)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Errorf("replayed done event has state %q", final.State)
+	}
+	records := 0
+	for _, ty := range types {
+		if ty == "record" {
+			records++
+		}
+	}
+	if records != len(reqs) || types[len(types)-1] != "done" {
+		t.Errorf("replayed events %v, want %d records ending in done", types, len(reqs))
+	}
+
+	// SSE framing: data: prefixed lines.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE content type %q", ct)
+	}
+	var sse bytes.Buffer
+	if _, err := sse.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sse.String(), "data: {") {
+		t.Errorf("SSE body lacks data frames:\n%s", sse.String())
+	}
+}
+
+// BenchmarkServerThroughput measures served specs/second through the full
+// HTTP path with a warm memo — the serving-leverage headline (cmd/bench
+// records it into the BENCH trajectory). Each iteration submits the
+// deduplicated fig4 batch and waits for its records.
+func BenchmarkServerThroughput(b *testing.B) {
+	_, c, _ := newTestServer(b, Options{Workers: 4})
+	ctx := context.Background()
+	specs := harness.DedupSpecs(harness.Fig4Specs())
+	reqs := specRequests(specs)
+	warm := func() {
+		st, err := c.SubmitBatch(ctx, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final, err := c.Wait(ctx, st.ID); err != nil || final.State != StateDone {
+			b.Fatalf("warm batch: %v state=%v", err, final.State)
+		}
+	}
+	warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := c.SubmitBatch(ctx, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, st.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs))*float64(b.N)/b.Elapsed().Seconds(), "specs/s")
+}

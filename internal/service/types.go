@@ -1,0 +1,167 @@
+// Package service is the simulation-as-a-service layer: a job-oriented HTTP
+// server over one process-lifetime harness.Session, so the memo (kernel
+// traces and simulation results) is shared across every request the daemon
+// ever answers. The versioned JSON API (DESIGN.md §6) offers synchronous
+// single-spec simulation, asynchronous batch and experiment jobs with
+// NDJSON/SSE result streaming, per-job cancellation, and /healthz +
+// /statsz observability. cmd/vpserved is the daemon; service/client the
+// typed Go client; repro.NewServer the facade constructor.
+package service
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+)
+
+// SpecRequest is the wire form of one simulation spec. Counters and
+// Recovery use the same strings as the CLIs: "baseline" (default) or "fpc",
+// and "squash" (default) or "reissue".
+type SpecRequest struct {
+	Kernel    string `json:"kernel"`
+	Predictor string `json:"predictor"`
+	Counters  string `json:"counters,omitempty"`
+	Recovery  string `json:"recovery,omitempty"`
+}
+
+// Spec validates the request and converts it to a harness spec.
+func (r SpecRequest) Spec() (harness.Spec, error) {
+	var s harness.Spec
+	if !slices.Contains(harness.KernelNames(), r.Kernel) {
+		return s, fmt.Errorf("unknown kernel %q", r.Kernel)
+	}
+	if !slices.Contains(harness.PredictorNames, r.Predictor) {
+		return s, fmt.Errorf("unknown predictor %q (have %v)", r.Predictor, harness.PredictorNames)
+	}
+	s.Kernel, s.Predictor = r.Kernel, r.Predictor
+	switch r.Counters {
+	case "", "baseline":
+		s.Counters = harness.BaselineCounters
+	case "fpc", "FPC":
+		s.Counters = harness.FPC
+	default:
+		return s, fmt.Errorf("unknown counters %q (have baseline, fpc)", r.Counters)
+	}
+	switch r.Recovery {
+	case "", "squash":
+		s.Recovery = pipeline.SquashAtCommit
+	case "reissue":
+		s.Recovery = pipeline.SelectiveReissue
+	default:
+		return s, fmt.Errorf("unknown recovery %q (have squash, reissue)", r.Recovery)
+	}
+	return s, nil
+}
+
+// RequestFor is Spec's inverse: the wire form of a harness spec. It is the
+// one place the counters/recovery strings are produced (clients, benchmarks
+// and tests all go through it, so the wire vocabulary cannot drift).
+func RequestFor(s harness.Spec) SpecRequest {
+	counters := "baseline"
+	if s.Counters == harness.FPC {
+		counters = "fpc"
+	}
+	return SpecRequest{
+		Kernel:    s.Kernel,
+		Predictor: s.Predictor,
+		Counters:  counters,
+		Recovery:  s.Recovery.String(),
+	}
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Specs []SpecRequest `json:"specs"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the wire form of one job. Records (per requested spec, in
+// spec order, identical to a sequential Session.Records over the same
+// specs) and Artifact (the rendered text table of an experiment job) are
+// populated only once State is "done".
+type JobStatus struct {
+	ID            string           `json:"id"`
+	Kind          string           `json:"kind"` // "batch" or "experiment"
+	Experiment    string           `json:"experiment,omitempty"`
+	State         string           `json:"state"`
+	Specs         int              `json:"specs"`     // requested specs
+	Completed     int              `json:"completed"` // requested specs finished
+	Error         string           `json:"error,omitempty"`
+	SubmittedUnix int64            `json:"submitted_unix"`
+	StartedUnix   int64            `json:"started_unix,omitempty"`
+	FinishedUnix  int64            `json:"finished_unix,omitempty"`
+	Records       []harness.Record `json:"records,omitempty"`
+	Artifact      string           `json:"artifact,omitempty"`
+}
+
+// terminalState is the one definition of "this job can change no further";
+// Finished, cancellation, and retention all use it.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Finished reports whether the job has reached a terminal state.
+func (s JobStatus) Finished() bool { return terminalState(s.State) }
+
+// Event is one line of a job's NDJSON stream (or one SSE data frame):
+// "record" events carry one finished record with its index into the
+// requested spec order (records stream in completion order, not spec
+// order); the final "done" event carries the terminal JobStatus, records
+// omitted since they were already streamed.
+type Event struct {
+	Type string `json:"type"` // "status", "record", "done"
+	// Index is meaningful only when Type is "record" (status/done events
+	// carry a zero Index that refers to nothing). It is always serialized —
+	// no omitempty — so a record event for spec 0 looks like every other
+	// record event.
+	Index  int             `json:"index"`
+	Record *harness.Record `json:"record,omitempty"`
+	Job    *JobStatus      `json:"job,omitempty"`
+}
+
+// ExperimentInfo is one row of GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	OK       bool    `json:"ok"`
+	UptimeS  float64 `json:"uptime_s"`
+	Draining bool    `json:"draining"`
+}
+
+// Limits echoes the admission configuration in /v1/statsz.
+type Limits struct {
+	MaxJobs          int    `json:"max_jobs"`
+	MaxBatch         int    `json:"max_specs_per_batch"`
+	RequestTimeoutMs int64  `json:"request_timeout_ms"`
+	Warmup           uint64 `json:"warmup_uops"`
+	Measure          uint64 `json:"measure_uops"`
+}
+
+// ServerStats is the body of GET /v1/statsz: scheduler load, the shared
+// session's memo effectiveness, and the job population by state.
+type ServerStats struct {
+	Workers     int            `json:"workers"`
+	BusyWorkers int            `json:"busy_workers"`
+	QueuedTasks int            `json:"queued_tasks"`
+	Coalesced   uint64         `json:"coalesced_tasks"`
+	MemoHits    uint64         `json:"memo_hits"`
+	MemoMisses  uint64         `json:"memo_misses"`
+	Jobs        map[string]int `json:"jobs"`
+	ActiveJobs  int            `json:"active_jobs"`
+	Draining    bool           `json:"draining"`
+	Limits      Limits         `json:"limits"`
+}

@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -107,5 +109,48 @@ func TestExperimentsCoverEveryPaperArtifact(t *testing.T) {
 		if !have[id] {
 			t.Errorf("experiment %q missing", id)
 		}
+	}
+}
+
+// TestNewServerFacade mounts the service layer through the facade only —
+// the path external consumers take — and drives one synchronous simulation
+// and one experiment job through NewClient.
+func TestNewServerFacade(t *testing.T) {
+	srv, err := NewServer(ServerOptions{Warmup: 1_000, Measure: 4_000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	rec, err := c.Simulate(ctx, SpecRequest{Kernel: "gzip", Predictor: "stride", Counters: "fpc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kernel != "gzip" || rec.Predictor != "stride" || rec.IPC <= 0 {
+		t.Errorf("bad record over the facade: %+v", rec)
+	}
+
+	job, err := c.SubmitExperiment(ctx, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || !strings.Contains(final.Artifact, "VTAGE") {
+		t.Errorf("table1 job over the facade: state=%s artifact=%q", final.State, final.Artifact)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MemoMisses == 0 {
+		t.Error("statsz shows no simulations after a simulate call")
 	}
 }
