@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,7 +43,10 @@ const (
 	FPC              = harness.FPC
 )
 
-// Options configures one simulation.
+// Options configures one simulation. The extended fields (Width, LoadsOnly,
+// MaxHist, FPCVector) are the canonical config key of harness.Spec: zero
+// values select the paper's Table 2 machine, so existing callers are
+// unchanged.
 type Options struct {
 	Kernel    string   // one of Kernels()
 	Predictor string   // one of Predictors()
@@ -51,6 +55,11 @@ type Options struct {
 	Warmup    uint64   // µops before measurement (default 50_000)
 	Measure   uint64   // measured µops (default 250_000)
 	Workers   int      // parallel simulation workers (<=0: GOMAXPROCS)
+
+	Width     int    // machine width override (0: the paper's 8-wide)
+	LoadsOnly bool   // restrict value prediction to load µops
+	MaxHist   int    // VTAGE max history override (0: the paper's 64)
+	FPCVector string // explicit FPC vector, e.g. "0,2,2,2,2,3,3" ("": derive from Counters)
 }
 
 // Summary reports the headline results of one simulation.
@@ -87,7 +96,11 @@ func Simulate(o Options) (Summary, error) {
 		Predictor: o.Predictor,
 		Counters:  o.Counters,
 		Recovery:  o.Recovery,
-	}
+		Width:     o.Width,
+		LoadsOnly: o.LoadsOnly,
+		MaxHist:   o.MaxHist,
+		FPCVec:    o.FPCVector,
+	}.Canonical()
 	// Batch the run and its baseline so they execute in parallel when the
 	// caller grants more than one worker.
 	results, err := se.RunAll([]harness.Spec{spec, spec.Baseline()}, o.Workers)
@@ -136,11 +149,18 @@ func RunExperiment(id string, warmup, measure uint64, w io.Writer) error {
 // RunExperimentOpts regenerates one experiment into w, fanning its
 // simulations out across o.Workers goroutines and emitting o.Format.
 func RunExperimentOpts(id string, o ExperimentOptions, w io.Writer) error {
+	return RunExperimentContext(context.Background(), id, o, w)
+}
+
+// RunExperimentContext is RunExperimentOpts with cancellation: when ctx is
+// done, unstarted simulations are abandoned, in-flight ones stop at their
+// next cancellation checkpoint, and the context error is returned.
+func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions, w io.Writer) error {
 	e, ok := harness.ExperimentByID(id)
 	if !ok {
 		return fmt.Errorf("repro: unknown experiment %q (have %v)", id, Experiments())
 	}
-	return harness.Render(harness.NewSession(o.Warmup, o.Measure), e, o.Format, o.Workers, w)
+	return harness.Render(ctx, harness.NewSession(o.Warmup, o.Measure), e, o.Format, o.Workers, w)
 }
 
 // Service layer (DESIGN.md §6): the simulation-as-a-service subsystem. A

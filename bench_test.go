@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -28,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 		if !ok {
 			b.Fatalf("unknown experiment %q", id)
 		}
-		if err := e.Run(se, io.Discard); err != nil {
+		if err := e.Run(context.Background(), se, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

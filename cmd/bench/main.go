@@ -55,6 +55,18 @@ type Fig4Result struct {
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
+// AblationResult is the ablation-batch measurement: the union of the four
+// sensitivity sweeps' declared spec sets (abl-fpc, abl-hist, abl-loads,
+// abl-width — extended Specs with explicit vectors, history lengths,
+// loads-only scope and machine widths) run across the worker pool through
+// the same memoized path as the figures.
+type AblationResult struct {
+	Specs       int     `json:"specs"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_s"`
+	SpecsPerSec float64 `json:"specs_per_sec"`
+}
+
 // ServerResult measures the service layer (internal/service) end to end:
 // several concurrent clients submit the same fig4 spec batch over HTTP to
 // an in-process server, so the number folds in scheduling, streaming, and —
@@ -77,6 +89,7 @@ type Record struct {
 	Note        string             `json:"note,omitempty"`
 	Steady      []SteadyResult     `json:"steady,omitempty"`
 	Fig4        *Fig4Result        `json:"fig4,omitempty"`
+	Ablation    *AblationResult    `json:"ablation,omitempty"`
 	Server      *ServerResult      `json:"server,omitempty"`
 	Before      *Record            `json:"before,omitempty"`
 	Speedups    map[string]float64 `json:"speedup_vs_before,omitempty"`
@@ -126,6 +139,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs at 1 worker (%.0f uops/s), %.2fs at %d workers (%.2fx)\n",
 		f4.Specs, f4.WallSeconds1W, f4.UopsPerSec1W, f4.WallSecondsPar, f4.ParallelWorkers, f4.ParallelSpeedup)
 	rec.Fig4 = &f4
+
+	fmt.Fprintf(os.Stderr, "bench: ablation batch (abl-fpc + abl-hist + abl-loads + abl-width, memoized path)\n")
+	ab, err := measureAblation(*warmup, *measure, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  %d specs in %.2fs = %.1f specs/s (%d workers)\n",
+		ab.Specs, ab.WallSeconds, ab.SpecsPerSec, ab.Workers)
+	rec.Ablation = &ab
 
 	fmt.Fprintf(os.Stderr, "bench: vpserved throughput (fig4 batch x %d overlapping clients over HTTP)\n", serverClients)
 	sv, err := measureServer(*warmup, *measure, *workers)
@@ -252,6 +274,37 @@ func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
 	}, nil
 }
 
+// ablationIDs are the sensitivity-sweep experiments whose declared spec
+// sets form the ablation batch.
+var ablationIDs = []string{"abl-fpc", "abl-hist", "abl-loads", "abl-width"}
+
+// measureAblation runs the deduplicated union of the ablation sweeps'
+// declared spec sets across the worker pool. Before PR 4 these sweeps
+// simulated unmemoized on the render path; this number records the
+// batch-scheduled replacement so the trajectory can hold it.
+func measureAblation(warmup, measure uint64, workers int) (AblationResult, error) {
+	var all []harness.Spec
+	for _, id := range ablationIDs {
+		e, ok := harness.ExperimentByID(id)
+		if !ok || e.Specs == nil {
+			return AblationResult{}, fmt.Errorf("experiment %q missing a declared spec set", id)
+		}
+		all = append(all, e.Specs()...)
+	}
+	specs := harness.DedupSpecs(all)
+	start := time.Now()
+	if _, err := harness.NewSession(warmup, measure).RunAll(specs, workers); err != nil {
+		return AblationResult{}, err
+	}
+	wall := time.Since(start).Seconds()
+	return AblationResult{
+		Specs:       len(specs),
+		Workers:     workers,
+		WallSeconds: wall,
+		SpecsPerSec: float64(len(specs)) / wall,
+	}, nil
+}
+
 // serverClients is how many concurrent clients the server measurement runs;
 // their batches fully overlap, which is the service's intended load shape.
 const serverClients = 4
@@ -337,6 +390,9 @@ func speedups(cur, prev *Record) map[string]float64 {
 	}
 	if cur.Server != nil && prev.Server != nil && prev.Server.SpecsPerSec > 0 {
 		out["server_specs_per_sec"] = cur.Server.SpecsPerSec / prev.Server.SpecsPerSec
+	}
+	if cur.Ablation != nil && prev.Ablation != nil && prev.Ablation.SpecsPerSec > 0 {
+		out["ablation_specs_per_sec"] = cur.Ablation.SpecsPerSec / prev.Ablation.SpecsPerSec
 	}
 	return out
 }

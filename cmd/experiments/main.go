@@ -8,25 +8,36 @@
 //	experiments -run fig4 -measure 1000000   # bigger windows
 //	experiments -run fig4 -workers 8         # parallel simulation
 //	experiments -run fig4 -format json       # structured results
+//	experiments -run abl-fpc -format csv     # ablations are structured too
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels cleanly: in-flight simulations stop at
+// their next cancellation checkpoint and the process exits nonzero.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/harness"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point: it parses args, executes, and returns the
-// process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// process exit code. ctx cancels in-flight work (the signal handler in main
+// wires it to SIGINT/SIGTERM); an interrupted run exits 130, the shell
+// convention for death-by-SIGINT.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	runID := fs.String("run", "", "experiment id to run (see -list)")
@@ -43,6 +54,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	fail := func(err error) int {
+		if harness.IsContextErr(err) {
+			fmt.Fprintln(stderr, "experiments: interrupted:", err)
+			return 130
+		}
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+
 	if *list {
 		printIndex(stdout)
 		return 0
@@ -55,9 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "experiments: -format json|csv applies to -run, not -all")
 			return 2
 		}
-		if err := harness.RunAllExperiments(se, stdout, *workers); err != nil {
-			fmt.Fprintln(stderr, "experiments:", err)
-			return 1
+		if err := harness.RunAllExperiments(ctx, se, stdout, *workers); err != nil {
+			return fail(err)
 		}
 	case *runID != "":
 		e, ok := harness.ExperimentByID(*runID)
@@ -69,9 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *format == "text" {
 			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
 		}
-		if err := harness.Render(se, e, *format, *workers, stdout); err != nil {
-			fmt.Fprintln(stderr, "experiments:", err)
-			return 1
+		if err := harness.Render(ctx, se, e, *format, *workers, stdout); err != nil {
+			return fail(err)
 		}
 	default:
 		fs.Usage()

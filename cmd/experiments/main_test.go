@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestListShowsEveryExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errb.String())
 	}
 	for _, id := range []string{"table1", "fig1", "fig4", "acc", "abl-width"} {
@@ -26,7 +27,7 @@ func TestRunJSONRoundTrip(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-run", "fig1", "-format", "json",
 		"-warmup", "500", "-measure", "2000", "-workers", "4"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exited %d: %s", code, errb.String())
 	}
 	var recs []map[string]any
@@ -51,7 +52,7 @@ func TestRunJSONRoundTrip(t *testing.T) {
 func TestRunCSVHasHeaderAndRows(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-run", "fig1", "-format", "csv", "-warmup", "500", "-measure", "2000"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exited %d: %s", code, errb.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -67,7 +68,7 @@ func TestRunCSVHasHeaderAndRows(t *testing.T) {
 // experiment index (id + paper artifact), not a bare error.
 func TestUnknownIDPrintsIndex(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-run", "fig99"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-run", "fig99"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown id exited %d, want 2", code)
 	}
 	msg := errb.String()
@@ -90,12 +91,76 @@ func TestBadInvocations(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if code := run(args, &out, &errb); code != 2 {
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
 			t.Errorf("run(%v) exited %d, want 2", args, code)
 		}
 	}
 	var out, errb bytes.Buffer
-	if code := run([]string{"-run", "fig1", "-format", "bogus"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-run", "fig1", "-format", "bogus"}, &out, &errb); code != 1 {
 		t.Errorf("unknown format exited %d, want 1", code)
+	}
+}
+
+// TestAblationJSONDeterministicAcrossWorkers pins the PR 4 acceptance
+// property: an ablation's structured output is byte-identical whether its
+// spec batch runs on one worker or eight — parallel scheduling of the
+// extended (custom-config) specs never changes rendered records.
+func TestAblationJSONDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, workers := range []string{"1", "8"} {
+		var out, errb bytes.Buffer
+		args := []string{"-run", "abl-fpc", "-format", "json",
+			"-warmup", "500", "-measure", "2000", "-workers", workers}
+		if code := run(context.Background(), args, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s exited %d: %s", workers, code, errb.String())
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("abl-fpc JSON differs between -workers 1 and -workers 8:\n--- 1 worker\n%s--- 8 workers\n%s",
+			outputs[0], outputs[1])
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(outputs[0]), &recs); err != nil {
+		t.Fatalf("abl-fpc output is not a JSON array: %v", err)
+	}
+	// 4 kernels x (baseline + 5 sweep points), with the explicit vectors on
+	// the custom-counter records.
+	if len(recs) != 24 {
+		t.Fatalf("abl-fpc emitted %d records, want 24", len(recs))
+	}
+	custom := 0
+	for _, r := range recs {
+		if r["counters"] == "custom" {
+			custom++
+			if r["fpc_vector"] == "" {
+				t.Errorf("custom-counter record without fpc_vector: %v", r)
+			}
+		}
+	}
+	// Per kernel: 3 sweep points carry explicit vectors (the 3-bit point
+	// folds onto baseline counters, the 7-bit point onto the FPC scheme).
+	if custom != 12 {
+		t.Errorf("%d custom-vector records, want 12", custom)
+	}
+}
+
+// TestInterruptedRunExitsNonzero: a cancelled context (what SIGINT triggers
+// via signal.NotifyContext in main) must abort the run with a context error
+// on stderr and the 130 exit status.
+func TestInterruptedRunExitsNonzero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	args := []string{"-run", "abl-hist", "-warmup", "500", "-measure", "2000"}
+	if code := run(ctx, args, &out, &errb); code != 130 {
+		t.Fatalf("interrupted run exited %d, want 130 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") || !strings.Contains(errb.String(), "context canceled") {
+		t.Errorf("stderr does not report the interruption: %s", errb.String())
+	}
+	var out2, errb2 bytes.Buffer
+	if code := run(ctx, []string{"-all"}, &out2, &errb2); code != 130 {
+		t.Errorf("interrupted -all exited %d, want 130 (stderr: %s)", code, errb2.String())
 	}
 }

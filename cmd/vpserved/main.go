@@ -108,10 +108,10 @@ func main() {
 		clean = false
 		log.Printf("http shutdown: %v", err)
 	}
-	// Close cancels whatever Drain left behind, but an experiment job stuck
-	// in an uncancellable render (DESIGN.md §6.2) could outlive any budget —
-	// so Close itself is bounded by the remaining drain window plus a grace
-	// period rather than trusted to return.
+	// Close cancels whatever Drain left behind; renders and simulations are
+	// all context-driven (DESIGN.md §6.2), so this settles within one
+	// cancellation checkpoint. The timeout is defense in depth against a
+	// future uncancellable path, not an expected exit.
 	closed := make(chan error, 1)
 	go func() { closed <- svc.Close() }()
 	select {

@@ -1,34 +1,21 @@
 package harness
 
+// This file holds the ablations beyond the paper: the Section 5/7
+// sensitivity arguments (confidence strength, history length, loads-only
+// scope, machine width) rendered as experiments. Every sweep point is an
+// extended Spec — a memoizable, schedulable value — so these experiments
+// batch across the worker pool and render from warm memo entries exactly
+// like the figures; nothing here simulates outside the scheduler.
+
 import (
 	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/ghist"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
-
-// RunCustom simulates kernel under recovery rec with a caller-built
-// predictor — the hook for ablations that vary predictor parameters outside
-// the named configurations. Results are not memoized.
-func (se *Session) RunCustom(kernel string, rec pipeline.RecoveryMode, mk func(h *ghist.History) core.Predictor) (*pipeline.Stats, error) {
-	tr, err := se.trace(context.Background(), kernel)
-	if err != nil {
-		return nil, err
-	}
-	h := &ghist.History{}
-	var pred core.Predictor
-	if mk != nil {
-		pred = mk(h)
-	}
-	cfg := pipeline.DefaultConfig()
-	cfg.Recovery = rec
-	sim := pipeline.New(cfg, tr, pred, h)
-	return sim.Run(se.Warmup, se.Measure)
-}
 
 // ablationKernels is a small representative set: a large-gain kernel, a
 // context-predictable one, a drift-heavy one, and a VP-neutral one.
@@ -37,6 +24,9 @@ var ablationKernels = []string{"art", "gcc", "gobmk", "milc"}
 // ablLoadsKernels is the kernel set of the loads-only ablation: large-gain,
 // drift-heavy, FP, pointer-chasing, context, and memory-bound examples.
 var ablLoadsKernels = []string{"art", "parser", "gamess", "vortex", "hmmer", "lbm"}
+
+// ablWidthKernels is the kernel set of the width-sensitivity ablation.
+var ablWidthKernels = []string{"art", "parser", "gamess", "gcc"}
 
 // fpcPoint is one confidence strength in the FPC ablation.
 type fpcPoint struct {
@@ -54,11 +44,35 @@ var fpcSweep = []fpcPoint{
 	{"8-bit eq", core.FPCVector{0, 5, 5, 5, 5, 6, 6}},
 }
 
+// fpcSpec is one FPC-sweep point: VTAGE under squash-at-commit with an
+// explicit probability vector. Canonical() folds the 3-bit point onto the
+// plain baseline-counter VTAGE spec the figures already memoize.
+func fpcSpec(kernel string, vec core.FPCVector) Spec {
+	return Spec{
+		Kernel:    kernel,
+		Predictor: "vtage",
+		Recovery:  pipeline.SquashAtCommit,
+		FPCVec:    FormatFPCVector(vec),
+	}.Canonical()
+}
+
+// ablFPCSpecs declares the full spec set of the FPC-strength sweep.
+func ablFPCSpecs() []Spec {
+	var out []Spec
+	for _, k := range ablationKernels {
+		out = append(out, Spec{Kernel: k, Predictor: "none"})
+		for _, p := range fpcSweep {
+			out = append(out, fpcSpec(k, p.vec))
+		}
+	}
+	return out
+}
+
 // runAblFPC sweeps the FPC probability vector on VTAGE under squash-at-commit
 // recovery: the Section 5 trade-off between coverage (weak counters) and
 // accuracy (strong counters), and the basis for the paper's suggestion of
 // adapting probabilities at run time.
-func runAblFPC(se *Session, w io.Writer) error {
+func runAblFPC(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "VTAGE under squash-at-commit, varying confidence strength\n")
 	fmt.Fprintf(w, "%-8s", "kernel")
 	for _, p := range fpcSweep {
@@ -70,21 +84,19 @@ func runAblFPC(se *Session, w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	for _, k := range ablationKernels {
-		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(w, "%-8s", k)
 		for _, p := range fpcSweep {
-			vec := p.vec
-			st, err := se.RunCustom(k, pipeline.SquashAtCommit, func(h *ghist.History) core.Predictor {
-				return core.NewVTAGE(core.DefaultVTAGEConfig(vec), h)
-			})
+			spec := fpcSpec(k, p.vec)
+			sp, err := se.SpeedupCtx(ctx, spec)
+			if err != nil {
+				return err
+			}
+			r, err := se.RunCtx(ctx, spec)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(w, " %8.3f %6.1f %6.2f",
-				st.IPC()/base.Stats.IPC(), 100*st.Coverage(), 100*st.Accuracy())
+				sp, 100*r.Stats.Coverage(), 100*r.Stats.Accuracy())
 		}
 		fmt.Fprintln(w)
 	}
@@ -95,20 +107,46 @@ func runAblFPC(se *Session, w io.Writer) error {
 // runExtPredictors compares the extension predictors the paper references
 // but does not chart: the Per-Path Stride predictor (footnote 4: "on par
 // with 2D-Str") and gDiff [27] (composable global-stride prediction).
-func runExtPredictors(se *Session, w io.Writer) error {
+func runExtPredictors(ctx context.Context, se *Session, w io.Writer) error {
 	preds := []string{"stride", "ps", "vtage", "gdiff"}
-	if err := speedupMatrix(se, w, preds, FPC, pipeline.SquashAtCommit); err != nil {
+	if err := speedupMatrix(ctx, se, w, preds, FPC, pipeline.SquashAtCommit); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "(paper footnote 4: PS performance was on par with 2D-Str)")
 	return nil
 }
 
+// maxHists are the VTAGE history lengths of the history ablation; 64 is the
+// paper's pick, so its spec canonicalizes onto the figures' VTAGE entry.
+var maxHists = []int{8, 64, 256}
+
+// histSpec is one history-length point: VTAGE with FPC, squash at commit.
+func histSpec(kernel string, maxHist int) Spec {
+	return Spec{
+		Kernel:    kernel,
+		Predictor: "vtage",
+		Counters:  FPC,
+		Recovery:  pipeline.SquashAtCommit,
+		MaxHist:   maxHist,
+	}.Canonical()
+}
+
+// ablHistSpecs declares the full spec set of the history-length sweep.
+func ablHistSpecs() []Spec {
+	var out []Spec
+	for _, k := range ablationKernels {
+		out = append(out, Spec{Kernel: k, Predictor: "none"})
+		for _, mh := range maxHists {
+			out = append(out, histSpec(k, mh))
+		}
+	}
+	return out
+}
+
 // runAblHist sweeps VTAGE's maximum history length: too short loses
 // control-flow context, too long dilutes capacity across components and
 // slows learning — the paper picked 2..64 as "a good tradeoff".
-func runAblHist(se *Session, w io.Writer) error {
-	maxHists := []int{8, 64, 256}
+func runAblHist(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "VTAGE with FPC and squash-at-commit, varying max history length\n")
 	fmt.Fprintf(w, "%-8s", "kernel")
 	for _, mh := range maxHists {
@@ -116,22 +154,13 @@ func runAblHist(se *Session, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "   (speedup)")
 	for _, k := range ablationKernels {
-		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(w, "%-8s", k)
 		for _, mh := range maxHists {
-			mh := mh
-			st, err := se.RunCustom(k, pipeline.SquashAtCommit, func(h *ghist.History) core.Predictor {
-				cfg := core.DefaultVTAGEConfig(core.FPCCommit)
-				cfg.MaxHist = mh
-				return core.NewVTAGE(cfg, h)
-			})
+			sp, err := se.SpeedupCtx(ctx, histSpec(k, mh))
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, " %10.3f", st.IPC()/base.Stats.IPC())
+			fmt.Fprintf(w, " %10.3f", sp)
 		}
 		fmt.Fprintln(w)
 	}
@@ -140,11 +169,12 @@ func runAblHist(se *Session, w io.Writer) error {
 
 // runProfile renders the workload characterization table: the evidence for
 // the Table 3 substitution argument (which predictor family each kernel is
-// built to exercise).
-func runProfile(se *Session, w io.Writer) error {
+// built to exercise). It is trace-driven (no simulations), so it declares
+// no specs; the context check between kernels keeps it cancellable.
+func runProfile(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintln(w, stats.Header())
 	for _, k := range KernelNames() {
-		tr, err := se.trace(context.Background(), k)
+		tr, err := se.trace(ctx, k)
 		if err != nil {
 			return err
 		}
@@ -154,85 +184,100 @@ func runProfile(se *Session, w io.Writer) error {
 	return nil
 }
 
+// loadsSpec is the loads-only half of the scope ablation; allUopsSpec the
+// paper's whole-instruction deployment.
+func loadsSpec(kernel string, loadsOnly bool) Spec {
+	return Spec{
+		Kernel:    kernel,
+		Predictor: "vtage+stride",
+		Counters:  FPC,
+		Recovery:  pipeline.SquashAtCommit,
+		LoadsOnly: loadsOnly,
+	}
+}
+
+// ablLoadsSpecs declares the full spec set of the prediction-scope ablation.
+func ablLoadsSpecs() []Spec {
+	var out []Spec
+	for _, k := range ablLoadsKernels {
+		out = append(out,
+			Spec{Kernel: k, Predictor: "none"},
+			loadsSpec(k, false),
+			loadsSpec(k, true))
+	}
+	return out
+}
+
 // runAblLoads compares predicting every register-producing µop (the paper's
 // deployment) with classic load-value prediction only: loads carry the
 // longest latencies, but the paper's whole-instruction scope also breaks
 // ALU/FP dependence chains.
-func runAblLoads(se *Session, w io.Writer) error {
+func runAblLoads(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "VTAGE-2DStr hybrid with FPC, squash-at-commit: all µops vs loads only\n")
 	fmt.Fprintf(w, "%-10s %12s %12s\n", "kernel", "all uops", "loads only")
 	for _, k := range ablLoadsKernels {
-		base, err := se.Run(Spec{Kernel: k, Predictor: "none"})
+		all, err := se.SpeedupCtx(ctx, loadsSpec(k, false))
 		if err != nil {
 			return err
 		}
-		all, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC})
+		loads, err := se.SpeedupCtx(ctx, loadsSpec(k, true))
 		if err != nil {
 			return err
 		}
-		tr, err := se.trace(context.Background(), k)
-		if err != nil {
-			return err
-		}
-		h := &ghist.History{}
-		pred, err := NewPredictor("vtage+stride", FPC.Vector(pipeline.SquashAtCommit), h)
-		if err != nil {
-			return err
-		}
-		cfg := pipeline.DefaultConfig()
-		cfg.PredictLoadsOnly = true
-		st, err := pipeline.New(cfg, tr, pred, h).Run(se.Warmup, se.Measure)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-10s %12.3f %12.3f\n", k, all, st.IPC()/base.Stats.IPC())
+		fmt.Fprintf(w, "%-10s %12.3f %12.3f\n", k, all, loads)
 	}
 	fmt.Fprintln(w, "(the paper predicts every register-producing µop, §7.2)")
 	return nil
 }
 
-// widthPoints are the machine widths for the width-sensitivity ablation.
+// widthPoints are the machine widths for the width-sensitivity ablation;
+// 8 is Table 2's machine, so its specs canonicalize onto the figures'.
 var widthPoints = []int{4, 8}
+
+// widthSpec is one width point: VTAGE-2DStr with FPC on a w-wide machine.
+// Its speedup divides by the width-matched baseline (Spec.Baseline keeps
+// Width).
+func widthSpec(kernel string, width int) Spec {
+	return Spec{
+		Kernel:    kernel,
+		Predictor: "vtage+stride",
+		Counters:  FPC,
+		Recovery:  pipeline.SquashAtCommit,
+		Width:     width,
+	}.Canonical()
+}
+
+// ablWidthSpecs declares the full spec set of the width ablation: each
+// width's predictor spec plus the width-matched baseline it divides by.
+func ablWidthSpecs() []Spec {
+	var out []Spec
+	for _, k := range ablWidthKernels {
+		for _, wd := range widthPoints {
+			sp := widthSpec(k, wd)
+			out = append(out, sp.Baseline(), sp)
+		}
+	}
+	return out
+}
 
 // runAblWidth shows the paper's premise — value prediction is a lever for
 // wide machines: on a narrower pipeline the same predictor buys less,
 // because fewer independent µops are waiting on the broken dependences.
-func runAblWidth(se *Session, w io.Writer) error {
+func runAblWidth(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "VTAGE-2DStr with FPC, squash-at-commit: speedup vs machine width\n")
 	fmt.Fprintf(w, "%-10s", "kernel")
 	for _, wd := range widthPoints {
 		fmt.Fprintf(w, " %12s", fmt.Sprintf("%d-wide", wd))
 	}
 	fmt.Fprintln(w)
-	for _, k := range []string{"art", "parser", "gamess", "gcc"} {
+	for _, k := range ablWidthKernels {
 		fmt.Fprintf(w, "%-10s", k)
 		for _, wd := range widthPoints {
-			tr, err := se.trace(context.Background(), k)
+			sp, err := se.SpeedupCtx(ctx, widthSpec(k, wd))
 			if err != nil {
 				return err
 			}
-			mkCfg := func() pipeline.Config {
-				cfg := pipeline.DefaultConfig()
-				cfg.FetchWidth = wd
-				cfg.DispatchWidth = wd
-				cfg.IssueWidth = wd
-				cfg.RetireWidth = wd
-				return cfg
-			}
-			bst, err := pipeline.New(mkCfg(), tr, nil, nil).Run(se.Warmup, se.Measure)
-			if err != nil {
-				return err
-			}
-			h := &ghist.History{}
-			pred, err := NewPredictor("vtage+stride", FPC.Vector(pipeline.SquashAtCommit), h)
-			if err != nil {
-				return err
-			}
-			pst, err := pipeline.New(mkCfg(), tr, pred, h).Run(se.Warmup, se.Measure)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %12.3f", pst.IPC()/bst.IPC())
+			fmt.Fprintf(w, " %12.3f", sp)
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"io"
@@ -10,11 +11,19 @@ import (
 // Record is the flattened, machine-readable form of one simulation result.
 // Field names (JSON keys and CSV headers) are stable; downstream tooling may
 // depend on them. Committed and Cycles cover the measurement window only.
+// The extended spec-key fields report the canonical spec: zero values mean
+// the paper's default (8-wide machine, 64-entry VTAGE history, all-µop
+// scope); Counters reads "custom" when an explicit FPCVector replaces the
+// named scheme.
 type Record struct {
 	Kernel         string  `json:"kernel"`
 	Predictor      string  `json:"predictor"`
 	Counters       string  `json:"counters"`
 	Recovery       string  `json:"recovery"`
+	Width          int     `json:"width"`
+	LoadsOnly      bool    `json:"loads_only"`
+	MaxHist        int     `json:"max_hist"`
+	FPCVector      string  `json:"fpc_vector"`
 	IPC            float64 `json:"ipc"`
 	Speedup        float64 `json:"speedup"`
 	Coverage       float64 `json:"coverage"`
@@ -32,6 +41,7 @@ type Record struct {
 // csvHeader must stay in sync with Record's JSON tags; emit_test.go pins it.
 var csvHeader = []string{
 	"kernel", "predictor", "counters", "recovery",
+	"width", "loads_only", "max_hist", "fpc_vector",
 	"ipc", "speedup", "coverage", "accuracy",
 	"committed", "cycles",
 	"squash_value", "squash_branch", "squash_memorder", "reissued_uops",
@@ -50,12 +60,20 @@ func (se *Session) Record(r *Result) (Record, error) {
 			return Record{}, err
 		}
 	}
+	counters := r.Spec.Counters.String()
+	if r.Spec.FPCVec != "" {
+		counters = "custom"
+	}
 	st := r.Stats
 	return Record{
 		Kernel:         r.Spec.Kernel,
 		Predictor:      r.Spec.Predictor,
-		Counters:       r.Spec.Counters.String(),
+		Counters:       counters,
 		Recovery:       r.Spec.Recovery.String(),
+		Width:          r.Spec.Width,
+		LoadsOnly:      r.Spec.LoadsOnly,
+		MaxHist:        r.Spec.MaxHist,
+		FPCVector:      r.Spec.FPCVec,
 		IPC:            st.IPC(),
 		Speedup:        sp,
 		Coverage:       st.Coverage(),
@@ -74,14 +92,21 @@ func (se *Session) Record(r *Result) (Record, error) {
 // Records simulates specs (plus the baselines their speedups need) across
 // the worker pool and flattens the results in spec order.
 func (se *Session) Records(specs []Spec, workers int) ([]Record, error) {
+	return se.RecordsCtx(context.Background(), specs, workers)
+}
+
+// RecordsCtx is Records with cancellation (see RunAllCtx).
+func (se *Session) RecordsCtx(ctx context.Context, specs []Spec, workers int) ([]Record, error) {
 	batch := make([]Spec, 0, 2*len(specs))
-	batch = append(batch, specs...)
+	for _, s := range specs {
+		batch = append(batch, s.Canonical())
+	}
 	for _, s := range specs {
 		if s.Predictor != "none" {
-			batch = append(batch, s.Baseline())
+			batch = append(batch, s.Canonical().Baseline())
 		}
 	}
-	results, err := se.RunAll(batch, workers)
+	results, err := se.RunAllCtx(ctx, batch, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +139,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 	for _, r := range recs {
 		row := []string{
 			r.Kernel, r.Predictor, r.Counters, r.Recovery,
+			strconv.Itoa(r.Width), strconv.FormatBool(r.LoadsOnly), strconv.Itoa(r.MaxHist), r.FPCVector,
 			f(r.IPC), f(r.Speedup), f(r.Coverage), f(r.Accuracy),
 			u(r.Committed), strconv.FormatInt(r.Cycles, 10),
 			u(r.SquashValue), u(r.SquashBranch), u(r.SquashMemOrder), u(r.ReissuedUops),

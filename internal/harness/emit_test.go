@@ -15,7 +15,8 @@ import (
 func goldenRecords() []Record {
 	return []Record{
 		{
-			Kernel: "art", Predictor: "vtage", Counters: "FPC", Recovery: "squash",
+			Kernel: "art", Predictor: "vtage", Counters: "custom", Recovery: "squash",
+			Width: 4, LoadsOnly: true, MaxHist: 256, FPCVector: "0,2,2,2,2,3,3",
 			IPC: 1.25, Speedup: 1.5, Coverage: 0.4, Accuracy: 0.9975,
 			Committed: 250000, Cycles: 200000,
 			SquashValue: 12, SquashBranch: 34, SquashMemOrder: 5, ReissuedUops: 0,

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -13,16 +14,18 @@ import (
 )
 
 // Experiment regenerates one table or figure of the paper. Specs, when
-// non-nil, pre-declares every memoizable simulation the renderer will
-// request, letting the engine batch-schedule the whole figure across the
-// worker pool before Run touches the session (Run then only reads warm memo
-// entries). Static tables and ablations that construct custom predictors
-// declare only their memoized subset (or nothing).
+// non-nil, pre-declares every simulation the renderer will request, letting
+// the engine batch-schedule the whole figure (ablation sweeps included —
+// every sweep point is an extended Spec) across the worker pool before Run
+// touches the session; Run then only reads warm memo entries. Static tables
+// and the trace-driven profile declare nothing. Run takes the caller's
+// context: renderers pass it to every session read, so an experiment is
+// cancellable even mid-simulation when a memo entry turns out cold.
 type Experiment struct {
 	ID    string
 	Title string
 	Specs func() []Spec
-	Run   func(se *Session, w io.Writer) error
+	Run   func(ctx context.Context, se *Session, w io.Writer) error
 }
 
 // Experiments returns every experiment in DESIGN.md §5 order.
@@ -40,12 +43,12 @@ func Experiments() []Experiment {
 		{"acc", "Accuracy: baseline counters vs FPC (Section 8.2)", accSpecs, runAccuracy},
 		{"sec3", "Section 3.1.1: recovery cost model", nil, runSec3},
 		{"sec4", "Section 4: register file port cost model", nil, runSec4},
-		{"abl-fpc", "Ablation (beyond the paper): FPC vector strength sweep", ablBaselineSpecs, runAblFPC},
-		{"abl-hist", "Ablation (beyond the paper): VTAGE max history length", ablBaselineSpecs, runAblHist},
+		{"abl-fpc", "Ablation (beyond the paper): FPC vector strength sweep", ablFPCSpecs, runAblFPC},
+		{"abl-hist", "Ablation (beyond the paper): VTAGE max history length", ablHistSpecs, runAblHist},
 		{"ext-pred", "Extension predictors (paper refs): PS and gDiff vs 2D-Str and VTAGE", extPredSpecs, runExtPredictors},
 		{"profile", "Workload characterization: mix, footprint, value locality", nil, runProfile},
 		{"abl-loads", "Ablation (beyond the paper): all-uop VP vs loads-only VP", ablLoadsSpecs, runAblLoads},
-		{"abl-width", "Ablation (beyond the paper): VP gain vs machine width", nil, runAblWidth},
+		{"abl-width", "Ablation (beyond the paper): VP gain vs machine width", ablWidthSpecs, runAblWidth},
 	}
 }
 
@@ -110,29 +113,8 @@ func accSpecs() []Spec {
 	return out
 }
 
-// ablBaselineSpecs covers the memoized portion of the FPC and history-length
-// ablations; their custom-predictor runs go through RunCustom and are not
-// cacheable.
-func ablBaselineSpecs() []Spec {
-	var out []Spec
-	for _, k := range ablationKernels {
-		out = append(out, Spec{Kernel: k, Predictor: "none"})
-	}
-	return out
-}
-
 func extPredSpecs() []Spec {
 	return matrixSpecs([]string{"stride", "ps", "vtage", "gdiff"}, FPC, pipeline.SquashAtCommit)
-}
-
-func ablLoadsSpecs() []Spec {
-	var out []Spec
-	for _, k := range ablLoadsKernels {
-		out = append(out,
-			Spec{Kernel: k, Predictor: "none"},
-			Spec{Kernel: k, Predictor: "vtage+stride", Counters: FPC})
-	}
-	return out
 }
 
 // ExperimentByID returns the named experiment.
@@ -145,17 +127,17 @@ func ExperimentByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-func runTable1(se *Session, w io.Writer) error {
+func runTable1(ctx context.Context, se *Session, w io.Writer) error {
 	_, err := io.WriteString(w, core.FormatTable1())
 	return err
 }
 
-func runTable2(se *Session, w io.Writer) error {
+func runTable2(ctx context.Context, se *Session, w io.Writer) error {
 	_, err := io.WriteString(w, pipeline.DefaultConfig().FormatTable2())
 	return err
 }
 
-func runTable3(se *Session, w io.Writer) error {
+func runTable3(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "%-10s %-22s %s\n", "Kernel", "Stands in for", "Class")
 	for _, k := range kernels.All() {
 		class := "INT"
@@ -167,11 +149,11 @@ func runTable3(se *Session, w io.Writer) error {
 	return nil
 }
 
-func runFig1(se *Session, w io.Writer) error {
+func runFig1(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "%-10s %10s\n", "kernel", "b2b frac")
 	var fracs []float64
 	for _, k := range KernelNames() {
-		r, err := se.Run(Spec{Kernel: k, Predictor: "none"})
+		r, err := se.RunCtx(ctx, Spec{Kernel: k, Predictor: "none"})
 		if err != nil {
 			return err
 		}
@@ -185,11 +167,11 @@ func runFig1(se *Session, w io.Writer) error {
 	return nil
 }
 
-func runFig3(se *Session, w io.Writer) error {
+func runFig3(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "%-10s %8s\n", "kernel", "speedup")
 	var sp []float64
 	for _, k := range KernelNames() {
-		s, err := se.Speedup(Spec{Kernel: k, Predictor: "oracle"})
+		s, err := se.SpeedupCtx(ctx, Spec{Kernel: k, Predictor: "oracle"})
 		if err != nil {
 			return err
 		}
@@ -203,12 +185,12 @@ func runFig3(se *Session, w io.Writer) error {
 }
 
 // speedupMatrix renders one speedup table over every kernel.
-func speedupMatrix(se *Session, w io.Writer, preds []string, c Counters, rec pipeline.RecoveryMode) error {
-	return speedupMatrixOver(se, w, KernelNames(), preds, c, rec)
+func speedupMatrix(ctx context.Context, se *Session, w io.Writer, preds []string, c Counters, rec pipeline.RecoveryMode) error {
+	return speedupMatrixOver(ctx, se, w, KernelNames(), preds, c, rec)
 }
 
 // speedupMatrixOver renders one speedup table: kernels x predictors.
-func speedupMatrixOver(se *Session, w io.Writer, kernels, preds []string, c Counters, rec pipeline.RecoveryMode) error {
+func speedupMatrixOver(ctx context.Context, se *Session, w io.Writer, kernels, preds []string, c Counters, rec pipeline.RecoveryMode) error {
 	fmt.Fprintf(w, "%-10s", "kernel")
 	for _, p := range preds {
 		fmt.Fprintf(w, " %12s", DisplayName(p))
@@ -218,7 +200,7 @@ func speedupMatrixOver(se *Session, w io.Writer, kernels, preds []string, c Coun
 	for _, k := range kernels {
 		fmt.Fprintf(w, "%-10s", k)
 		for i, p := range preds {
-			s, err := se.Speedup(Spec{Kernel: k, Predictor: p, Counters: c, Recovery: rec})
+			s, err := se.SpeedupCtx(ctx, Spec{Kernel: k, Predictor: p, Counters: c, Recovery: rec})
 			if err != nil {
 				return err
 			}
@@ -237,41 +219,41 @@ func speedupMatrixOver(se *Session, w io.Writer, kernels, preds []string, c Coun
 
 var singlePredictors = []string{"lvp", "stride", "fcm", "vtage"}
 
-func runFig4(se *Session, w io.Writer) error {
+func runFig4(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintln(w, "(a) baseline 3-bit counters, squash at commit")
-	if err := speedupMatrix(se, w, singlePredictors, BaselineCounters, pipeline.SquashAtCommit); err != nil {
+	if err := speedupMatrix(ctx, se, w, singlePredictors, BaselineCounters, pipeline.SquashAtCommit); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\n(b) FPC, squash at commit")
-	return speedupMatrix(se, w, singlePredictors, FPC, pipeline.SquashAtCommit)
+	return speedupMatrix(ctx, se, w, singlePredictors, FPC, pipeline.SquashAtCommit)
 }
 
-func runFig5(se *Session, w io.Writer) error {
+func runFig5(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintln(w, "(a) baseline 3-bit counters, selective reissue")
-	if err := speedupMatrix(se, w, singlePredictors, BaselineCounters, pipeline.SelectiveReissue); err != nil {
+	if err := speedupMatrix(ctx, se, w, singlePredictors, BaselineCounters, pipeline.SelectiveReissue); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\n(b) FPC, selective reissue")
-	return speedupMatrix(se, w, singlePredictors, FPC, pipeline.SelectiveReissue)
+	return speedupMatrix(ctx, se, w, singlePredictors, FPC, pipeline.SelectiveReissue)
 }
 
-func runFig6(se *Session, w io.Writer) error {
+func runFig6(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "%-10s %14s %10s %14s %10s\n",
 		"kernel", "speedup(base)", "cov(base)", "speedup(FPC)", "cov(FPC)")
 	for _, k := range KernelNames() {
-		sb, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters})
+		sb, err := se.SpeedupCtx(ctx, Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters})
 		if err != nil {
 			return err
 		}
-		rb, err := se.Run(Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters})
+		rb, err := se.RunCtx(ctx, Spec{Kernel: k, Predictor: "vtage", Counters: BaselineCounters})
 		if err != nil {
 			return err
 		}
-		sf, err := se.Speedup(Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
+		sf, err := se.SpeedupCtx(ctx, Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
 		if err != nil {
 			return err
 		}
-		rf, err := se.Run(Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
+		rf, err := se.RunCtx(ctx, Spec{Kernel: k, Predictor: "vtage", Counters: FPC})
 		if err != nil {
 			return err
 		}
@@ -283,9 +265,9 @@ func runFig6(se *Session, w io.Writer) error {
 
 var hybridPredictors = []string{"stride", "fcm", "vtage", "fcm+stride", "vtage+stride"}
 
-func runFig7(se *Session, w io.Writer) error {
+func runFig7(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintln(w, "(a) speedup (FPC, squash at commit)")
-	if err := speedupMatrix(se, w, hybridPredictors, FPC, pipeline.SquashAtCommit); err != nil {
+	if err := speedupMatrix(ctx, se, w, hybridPredictors, FPC, pipeline.SquashAtCommit); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\n(b) coverage")
@@ -297,7 +279,7 @@ func runFig7(se *Session, w io.Writer) error {
 	for _, k := range KernelNames() {
 		fmt.Fprintf(w, "%-10s", k)
 		for _, p := range hybridPredictors {
-			r, err := se.Run(Spec{Kernel: k, Predictor: p, Counters: FPC})
+			r, err := se.RunCtx(ctx, Spec{Kernel: k, Predictor: p, Counters: FPC})
 			if err != nil {
 				return err
 			}
@@ -308,7 +290,7 @@ func runFig7(se *Session, w io.Writer) error {
 	return nil
 }
 
-func runAccuracy(se *Session, w io.Writer) error {
+func runAccuracy(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "%-10s", "kernel")
 	for _, p := range singlePredictors {
 		fmt.Fprintf(w, " %10s(b) %10s(F)", DisplayName(p), DisplayName(p))
@@ -318,11 +300,11 @@ func runAccuracy(se *Session, w io.Writer) error {
 	for _, k := range KernelNames() {
 		fmt.Fprintf(w, "%-10s", k)
 		for _, p := range singlePredictors {
-			rb, err := se.Run(Spec{Kernel: k, Predictor: p, Counters: BaselineCounters})
+			rb, err := se.RunCtx(ctx, Spec{Kernel: k, Predictor: p, Counters: BaselineCounters})
 			if err != nil {
 				return err
 			}
-			rf, err := se.Run(Spec{Kernel: k, Predictor: p, Counters: FPC})
+			rf, err := se.RunCtx(ctx, Spec{Kernel: k, Predictor: p, Counters: FPC})
 			if err != nil {
 				return err
 			}
@@ -342,7 +324,7 @@ func runAccuracy(se *Session, w io.Writer) error {
 	return nil
 }
 
-func runSec3(se *Session, w io.Writer) error {
+func runSec3(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "Recovery cost model, cycles gained per kilo-instruction (Trecov = Pvalue x Nmisp)\n")
 	fmt.Fprintf(w, "%-22s %8s %28s %30s\n", "mechanism", "penalty",
 		"ex.1: 40% cov, 95% acc", "ex.2: 30% cov, 99.75% acc")
@@ -354,7 +336,7 @@ func runSec3(se *Session, w io.Writer) error {
 	return nil
 }
 
-func runSec4(se *Session, w io.Writer) error {
+func runSec4(ctx context.Context, se *Session, w io.Writer) error {
 	fmt.Fprintf(w, "Register file area model (Zyuban-Kogge, area ~ (R+W)(R+2W)), issue width W=8\n")
 	fmt.Fprintf(w, "%-30s %6s %6s %10s\n", "design", "R", "W", "area (W^2)")
 	for _, sc := range regfile.Section4Scenarios(8) {
@@ -367,14 +349,16 @@ func runSec4(se *Session, w io.Writer) error {
 // Render batch-schedules an experiment's spec set across workers and writes
 // it to w in the requested format: "text" (the paper-style table), "json",
 // or "csv" (the structured Record layer). Experiments without a declared
-// spec set are text-only.
-func Render(se *Session, e Experiment, format string, workers int, w io.Writer) error {
+// spec set are text-only. ctx cancels the batch and the render: unstarted
+// specs are abandoned, in-flight simulations stop at their next
+// cancellation checkpoint, and Render returns the context error.
+func Render(ctx context.Context, se *Session, e Experiment, format string, workers int, w io.Writer) error {
 	switch format {
 	case "", "text":
-		if err := se.Prepare(e, workers); err != nil {
+		if err := se.Prepare(ctx, e, workers); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if err := e.Run(se, w); err != nil {
+		if err := e.Run(ctx, se, w); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		return nil
@@ -382,7 +366,7 @@ func Render(se *Session, e Experiment, format string, workers int, w io.Writer) 
 		if e.Specs == nil {
 			return fmt.Errorf("%s: no structured results (text-only experiment)", e.ID)
 		}
-		recs, err := se.Records(e.Specs(), workers)
+		recs, err := se.RecordsCtx(ctx, e.Specs(), workers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -397,11 +381,11 @@ func Render(se *Session, e Experiment, format string, workers int, w io.Writer) 
 
 // RunAllExperiments executes every experiment into w with headers,
 // batch-scheduling each experiment's pre-declared specs across workers
-// before rendering it.
-func RunAllExperiments(se *Session, w io.Writer, workers int) error {
+// before rendering it. ctx cancels the run between and within experiments.
+func RunAllExperiments(ctx context.Context, se *Session, w io.Writer, workers int) error {
 	for _, e := range Experiments() {
 		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
-		if err := Render(se, e, "text", workers, w); err != nil {
+		if err := Render(ctx, se, e, "text", workers, w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w, strings.Repeat("-", 70))

@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// TestSpecCanonical pins the canonicalization rules: equivalent
+// configurations must fold to one identity, because that identity is the
+// memo key, the scheduler's coalescing key, and the Record spec.
+func TestSpecCanonical(t *testing.T) {
+	base := Spec{Kernel: "art", Predictor: "vtage", Counters: FPC}
+	cases := []struct {
+		name string
+		in   Spec
+		want Spec
+	}{
+		{"plain specs are fixed points", base, base},
+		{"default width folds to zero",
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, Width: 8}, base},
+		{"non-default width survives",
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, Width: 4},
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, Width: 4}},
+		{"default max hist folds to zero",
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, MaxHist: 64}, base},
+		{"vector equal to the derived scheme folds away",
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, FPCVec: FormatFPCVector(core.FPCCommit)},
+			base},
+		{"vector matching a named scheme folds onto it",
+			Spec{Kernel: "art", Predictor: "vtage", FPCVec: FormatFPCVector(core.FPCCommit)},
+			base},
+		{"reissue vector folds onto FPC under reissue recovery",
+			Spec{Kernel: "art", Predictor: "vtage", Recovery: pipeline.SelectiveReissue,
+				FPCVec: FormatFPCVector(core.FPCReissue)},
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, Recovery: pipeline.SelectiveReissue}},
+		{"explicit vector zeroes counters and re-renders canonically",
+			Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, FPCVec: "0, 2,2,2,2,3,3"},
+			Spec{Kernel: "art", Predictor: "vtage", FPCVec: "0,2,2,2,2,3,3"}},
+		{"baseline machines shed predictor-only fields but keep width",
+			Spec{Kernel: "art", Predictor: "none", Counters: FPC, LoadsOnly: true, MaxHist: 8,
+				FPCVec: "0,2,2,2,2,3,3", Width: 4},
+			Spec{Kernel: "art", Predictor: "none", Width: 4}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Canonical(); got != tc.want {
+			t.Errorf("%s: Canonical(%+v) = %+v, want %+v", tc.name, tc.in, got, tc.want)
+		}
+	}
+	// The 3-bit FPC sweep point is the plain baseline-counter VTAGE spec.
+	if got := fpcSpec("art", core.FPCBaseline); got != (Spec{Kernel: "art", Predictor: "vtage", Recovery: pipeline.SquashAtCommit}) {
+		t.Errorf("3-bit fpcSpec did not fold onto the named config: %+v", got)
+	}
+	// The paper-default history point is the figures' VTAGE spec.
+	if got := histSpec("art", 64); got != (Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, Recovery: pipeline.SquashAtCommit}) {
+		t.Errorf("max-hist=64 histSpec did not fold onto the named config: %+v", got)
+	}
+}
+
+// TestFPCVectorRoundTrip: Format and Parse are inverses, and Parse rejects
+// malformed vectors.
+func TestFPCVectorRoundTrip(t *testing.T) {
+	for _, v := range []core.FPCVector{core.FPCBaseline, core.FPCReissue, core.FPCCommit, {0, 5, 5, 5, 5, 6, 6}} {
+		got, err := ParseFPCVector(FormatFPCVector(v))
+		if err != nil || got != v {
+			t.Errorf("round trip of %v: got %v, err %v", v, got, err)
+		}
+	}
+	for _, bad := range []string{"", "1,2,3", "0,2,2,2,2,3,3,4", "0,2,2,2,2,3,x", "0,2,2,2,2,3,99"} {
+		if _, err := ParseFPCVector(bad); err == nil {
+			t.Errorf("ParseFPCVector(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSpecValidate covers the constructible-configuration checks the
+// service layer rejects wire specs with.
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{Kernel: "art", Predictor: "vtage", Width: 4},
+		{Kernel: "art", Predictor: "vtage", MaxHist: 256},
+		{Kernel: "art", Predictor: "vtage+stride", MaxHist: 8},
+		{Kernel: "art", Predictor: "lvp", FPCVec: "0,2,2,2,2,3,3"},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []Spec{
+		{Kernel: "nope", Predictor: "vtage"},
+		{Kernel: "art", Predictor: "nope"},
+		{Kernel: "art", Predictor: "vtage", Width: 99},
+		{Kernel: "art", Predictor: "vtage", Width: -1},
+		{Kernel: "art", Predictor: "lvp", MaxHist: 256},    // not vtage-family
+		{Kernel: "art", Predictor: "vtage", MaxHist: 1},    // below MinHist
+		{Kernel: "art", Predictor: "vtage", MaxHist: 4096}, // above cap
+		{Kernel: "art", Predictor: "vtage", FPCVec: "1,2"},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+	// Run surfaces the same errors (memoized like any other failure). Note
+	// MaxHist=64 would canonicalize to the default and pass; 256 cannot.
+	se := NewSession(100, 400)
+	if _, err := se.Run(Spec{Kernel: "art", Predictor: "lvp", MaxHist: 256}); err == nil {
+		t.Error("Run accepted max_hist on a non-vtage predictor")
+	}
+}
+
+// TestExtendedSpecsSimulate runs one spec from each extension axis through
+// the ordinary memoized path and checks the results are real and respond to
+// the knob.
+func TestExtendedSpecsSimulate(t *testing.T) {
+	t.Parallel()
+	se := NewSession(testWindows(2_000, 10_000))
+	ctx := context.Background()
+
+	// Width: the knob must reach the machine (different cycle counts) and
+	// still produce a real run. (IPC ordering is asserted only at full
+	// windows by the abl-width shape; tiny -short windows are too noisy.)
+	wide, err := se.RunCtx(ctx, Spec{Kernel: "art", Predictor: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := se.RunCtx(ctx, Spec{Kernel: "art", Predictor: "none", Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Stats.IPC() <= 0 || narrow.Stats == wide.Stats {
+		t.Errorf("4-wide run indistinguishable from 8-wide: IPC %.3f vs %.3f",
+			narrow.Stats.IPC(), wide.Stats.IPC())
+	}
+	// Speedup of a width spec divides by the width-matched baseline.
+	if _, err := se.SpeedupCtx(ctx, Spec{Kernel: "art", Predictor: "vtage", Counters: FPC, Width: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := se.memo[Spec{Kernel: "art", Predictor: "none", Width: 4}]; !ok {
+		t.Error("width-matched baseline missing from the memo after SpeedupCtx")
+	}
+
+	// LoadsOnly: restricting scope must reduce eligibility.
+	all, err := se.RunCtx(ctx, Spec{Kernel: "parser", Predictor: "lvp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := se.RunCtx(ctx, Spec{Kernel: "parser", Predictor: "lvp", LoadsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads.Stats.Eligible == 0 || loads.Stats.Eligible >= all.Stats.Eligible {
+		t.Errorf("loads-only eligible %d, all-uops %d: want 0 < loads-only < all",
+			loads.Stats.Eligible, all.Stats.Eligible)
+	}
+
+	// MaxHist and FPCVec: the overrides construct and run.
+	if _, err := se.RunCtx(ctx, Spec{Kernel: "gzip", Predictor: "vtage", Counters: FPC, MaxHist: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.RunCtx(ctx, Spec{Kernel: "gzip", Predictor: "vtage+stride", MaxHist: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.RunCtx(ctx, Spec{Kernel: "gzip", Predictor: "vtage", FPCVec: "0,5,5,5,5,6,6"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Equivalent spellings share one memo entry: the default-width spec and
+	// the explicit-8-wide spec must not double-simulate.
+	_, missesBefore := se.MemoStats()
+	if _, err := se.RunCtx(ctx, Spec{Kernel: "art", Predictor: "none", Width: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.RunCtx(ctx, Spec{Kernel: "gzip", Predictor: "vtage", Counters: FPC, MaxHist: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter := se.MemoStats(); missesAfter != missesBefore+1 {
+		t.Errorf("equivalent spellings re-simulated: misses %d -> %d (want +1: only the MaxHist=64 FPC spec is new)",
+			missesBefore, missesAfter)
+	}
+}
+
+// TestPrepareCoversRender pins the tentpole property the service layer's
+// render path depends on: for every spec-declaring experiment, rendering
+// after Prepare starts no new simulations — the declared spec set is the
+// complete simulation footprint and the render is a pure warm-memo read.
+func TestPrepareCoversRender(t *testing.T) {
+	t.Parallel()
+	se := NewSession(testWindows(500, 2_000))
+	ctx := context.Background()
+	for _, e := range Experiments() {
+		if e.Specs == nil {
+			continue
+		}
+		if err := se.Prepare(ctx, e, 4); err != nil {
+			t.Fatalf("%s: prepare: %v", e.ID, err)
+		}
+		_, missesBefore := se.MemoStats()
+		if err := e.Run(ctx, se, io.Discard); err != nil {
+			t.Fatalf("%s: render: %v", e.ID, err)
+		}
+		if _, missesAfter := se.MemoStats(); missesAfter != missesBefore {
+			t.Errorf("%s: render started %d simulations beyond its declared spec set",
+				e.ID, missesAfter-missesBefore)
+		}
+	}
+}
+
+// TestRenderCancelled: a dead context aborts Render with the context error,
+// in both the text and structured paths.
+func TestRenderCancelled(t *testing.T) {
+	se := NewSession(testWindows(1_000, 4_000))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, _ := ExperimentByID("abl-hist")
+	for _, format := range []string{"text", "json"} {
+		var sb strings.Builder
+		err := Render(ctx, se, e, format, 2, &sb)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s render under a dead context returned %v, want context.Canceled", format, err)
+		}
+	}
+}

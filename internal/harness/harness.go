@@ -14,7 +14,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -120,18 +123,205 @@ func (c Counters) Vector(rec pipeline.RecoveryMode) core.FPCVector {
 	return core.FPCCommit
 }
 
-// Spec identifies one simulation run.
+// Spec identifies one simulation run. Beyond the four classic fields it
+// carries an optional canonical machine/predictor-parameter key, so every
+// simulation the repo can run — including the sensitivity ablations — is a
+// memoizable, schedulable value. Zero values mean "the paper's default", so
+// pre-existing four-field specs keep their identity (and memo entries).
 type Spec struct {
 	Kernel    string
 	Predictor string
 	Counters  Counters
 	Recovery  pipeline.RecoveryMode
+
+	// Width overrides the machine's fetch/dispatch/issue/retire width.
+	// 0 means Table 2's 8-wide machine.
+	Width int
+	// LoadsOnly restricts value prediction to load µops (the classic
+	// load-value-prediction deployment the paper argues against, §7.2).
+	LoadsOnly bool
+	// MaxHist overrides VTAGE's maximum history length (vtage-family
+	// predictors only). 0 means Table 1's 64.
+	MaxHist int
+	// FPCVec, when non-empty, is an explicit FPC probability vector in
+	// FormatFPCVector form ("0,2,2,2,2,3,3") that replaces the vector
+	// Counters.Vector(Recovery) would derive. Canonical specs keep Counters
+	// zero when FPCVec is set.
+	FPCVec string
+}
+
+// defaultWidth is Table 2's machine width; defaultMaxHist is Table 1's
+// VTAGE maximum history length. Canonical() folds explicit mentions of
+// either back to the zero value so equivalent specs share one memo entry.
+var (
+	defaultWidth   = pipeline.DefaultConfig().FetchWidth
+	defaultMaxHist = core.DefaultVTAGEConfig(core.FPCBaseline).MaxHist
+)
+
+// FormatFPCVector renders a probability vector in the canonical wire form
+// accepted by ParseFPCVector and Spec.FPCVec: shift values joined by commas.
+func FormatFPCVector(v core.FPCVector) string {
+	var b strings.Builder
+	for i, s := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s)))
+	}
+	return b.String()
+}
+
+// ParseFPCVector parses the canonical vector form ("0,4,4,4,4,5,5"): exactly
+// core.ConfMax comma-separated shift values, each at most 31 (TakeProb's
+// word-wide LFSR bound).
+func ParseFPCVector(s string) (core.FPCVector, error) {
+	var v core.FPCVector
+	parts := strings.Split(s, ",")
+	if len(parts) != len(v) {
+		return v, fmt.Errorf("harness: FPC vector %q has %d entries, want %d", s, len(parts), len(v))
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 || n > 31 {
+			return v, fmt.Errorf("harness: FPC vector %q entry %d: want a shift in 0..31", s, i)
+		}
+		v[i] = uint8(n)
+	}
+	return v, nil
+}
+
+// Canonical returns the spec in canonical form — the one identity the memo,
+// the scheduler's in-flight coalescing, and the structured Record layer key
+// on. Equivalent configurations fold together:
+//
+//   - Width equal to the default machine width becomes 0, MaxHist equal to
+//     VTAGE's default becomes 0;
+//   - an explicit FPCVec is re-rendered in canonical form; if a named
+//     counter scheme derives the same vector under this recovery mode, the
+//     spec folds onto that scheme (so an explicit FPCCommit under squash is
+//     the FPC spec the figures memoize), and otherwise Counters is zeroed —
+//     the vector wins;
+//   - the baseline machine (predictor "none") sheds every predictor-only
+//     field (Counters, LoadsOnly, MaxHist, FPCVec) but keeps Width: a
+//     narrow machine's baseline is the narrow machine.
+//
+// Unparseable FPCVec values are left untouched for Validate to report.
+func (s Spec) Canonical() Spec {
+	if s.Width == defaultWidth {
+		s.Width = 0
+	}
+	if s.MaxHist == defaultMaxHist {
+		s.MaxHist = 0
+	}
+	if s.FPCVec != "" {
+		if v, err := ParseFPCVector(s.FPCVec); err == nil {
+			switch v {
+			case BaselineCounters.Vector(s.Recovery):
+				s.Counters = BaselineCounters
+				s.FPCVec = ""
+			case FPC.Vector(s.Recovery):
+				s.Counters = FPC
+				s.FPCVec = ""
+			default:
+				s.FPCVec = FormatFPCVector(v)
+				s.Counters = BaselineCounters
+			}
+		}
+	}
+	if s.Predictor == "none" {
+		s.Counters = BaselineCounters
+		s.LoadsOnly = false
+		s.MaxHist = 0
+		s.FPCVec = ""
+	}
+	return s
+}
+
+// vtageFamily reports whether the predictor embeds a VTAGE (and therefore
+// honours the MaxHist override).
+func vtageFamily(predictor string) bool {
+	return predictor == "vtage" || predictor == "vtage+stride"
+}
+
+// Validate checks the spec against the constructible configuration space;
+// the service layer rejects invalid wire specs with it before scheduling,
+// and simulate applies it so direct harness users get the same errors.
+func (s Spec) Validate() error {
+	if !slices.Contains(kernels.Names(), s.Kernel) {
+		return fmt.Errorf("harness: unknown kernel %q", s.Kernel)
+	}
+	if !slices.Contains(PredictorNames, s.Predictor) {
+		return fmt.Errorf("harness: unknown predictor %q (have %v)", s.Predictor, PredictorNames)
+	}
+	if s.Width < 0 || s.Width > 16 {
+		return fmt.Errorf("harness: machine width %d out of range 1..16", s.Width)
+	}
+	if s.MaxHist != 0 {
+		if !vtageFamily(s.Predictor) {
+			return fmt.Errorf("harness: max_hist applies to vtage-family predictors, not %q", s.Predictor)
+		}
+		if s.MaxHist < 2 || s.MaxHist > 1024 {
+			return fmt.Errorf("harness: max history %d out of range 2..1024", s.MaxHist)
+		}
+	}
+	if s.FPCVec != "" {
+		if _, err := ParseFPCVector(s.FPCVec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vector resolves the confidence vector of the run: the explicit FPCVec
+// when set, otherwise the scheme Counters and Recovery select.
+func (s Spec) vector() (core.FPCVector, error) {
+	if s.FPCVec == "" {
+		return s.Counters.Vector(s.Recovery), nil
+	}
+	return ParseFPCVector(s.FPCVec)
+}
+
+// config builds the machine configuration the spec describes.
+func (s Spec) config() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.Recovery = s.Recovery
+	cfg.PredictLoadsOnly = s.LoadsOnly
+	if s.Width > 0 {
+		cfg.FetchWidth = s.Width
+		cfg.DispatchWidth = s.Width
+		cfg.IssueWidth = s.Width
+		cfg.RetireWidth = s.Width
+	}
+	return cfg
+}
+
+// newPredictor constructs the spec's predictor over h, honouring the
+// extended key (explicit vector, VTAGE history override).
+func (s Spec) newPredictor(h *ghist.History) (core.Predictor, error) {
+	vec, err := s.vector()
+	if err != nil {
+		return nil, err
+	}
+	if s.MaxHist == 0 {
+		return NewPredictor(s.Predictor, vec, h)
+	}
+	const seed = 0xC0FFEE // same seeds as NewPredictor, so MaxHist=default ≡ the named config
+	cfg := core.DefaultVTAGEConfig(vec)
+	cfg.MaxHist = s.MaxHist
+	switch s.Predictor {
+	case "vtage":
+		return core.NewVTAGE(cfg, h), nil
+	case "vtage+stride":
+		return core.NewHybrid(core.NewVTAGE(cfg, h), core.NewStride2D(13, vec, seed+1)), nil
+	default:
+		return nil, fmt.Errorf("harness: max_hist applies to vtage-family predictors, not %q", s.Predictor)
+	}
 }
 
 // Baseline returns the no-VP spec this spec's speedup is measured against:
-// same kernel and recovery mode, predictor "none".
+// same kernel, recovery mode and machine width, predictor "none".
 func (s Spec) Baseline() Spec {
-	return Spec{Kernel: s.Kernel, Predictor: "none", Recovery: s.Recovery}
+	return Spec{Kernel: s.Kernel, Predictor: "none", Recovery: s.Recovery, Width: s.Width}
 }
 
 // Result is the outcome of one run.
@@ -189,6 +379,9 @@ func DefaultSession() *Session { return NewSession(50_000, 250_000) }
 // only this caller's wait: the generation itself always runs to completion,
 // because a trace is kernel-wide shared state every future run will want.
 func (se *Session) trace(ctx context.Context, kernel string) ([]isa.DynInst, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	se.mu.Lock()
 	c, ok := se.traces[kernel]
 	if ok {
@@ -234,7 +427,11 @@ func IsContextErr(err error) bool {
 // memoized: its memo entry is removed before waiters wake, so the next
 // request re-simulates, and goroutines that joined the abandoned entry with
 // a live context of their own transparently retry as the new owner.
+//
+// The spec is canonicalized first (see Spec.Canonical), so equivalent
+// configurations share one memo entry no matter how the caller spelled them.
 func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
+	spec = spec.Canonical()
 	counted := false
 	for {
 		se.mu.Lock()
@@ -286,18 +483,19 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 // simulate performs one uncached run. The trace lookup is itself
 // singleflighted, so concurrent first runs of one kernel build its trace once.
 func (se *Session) simulate(ctx context.Context, spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	tr, err := se.trace(ctx, spec.Kernel)
 	if err != nil {
 		return nil, err
 	}
 	h := &ghist.History{}
-	pred, err := NewPredictor(spec.Predictor, spec.Counters.Vector(spec.Recovery), h)
+	pred, err := spec.newPredictor(h)
 	if err != nil {
 		return nil, err
 	}
-	cfg := pipeline.DefaultConfig()
-	cfg.Recovery = spec.Recovery
-	sim := pipeline.New(cfg, tr, pred, h)
+	sim := pipeline.New(spec.config(), tr, pred, h)
 	var st *pipeline.Stats
 	if ctx.Done() == nil {
 		st, err = sim.Run(se.Warmup, se.Measure)
@@ -360,13 +558,20 @@ func (se *Session) MemoStats() (hits, misses uint64) {
 }
 
 // Speedup returns the ratio of the spec's IPC to the baseline (no-VP)
-// machine's IPC on the same kernel and recovery mode.
+// machine's IPC on the same kernel, recovery mode and machine width.
 func (se *Session) Speedup(spec Spec) (float64, error) {
-	r, err := se.Run(spec)
+	return se.SpeedupCtx(context.Background(), spec)
+}
+
+// SpeedupCtx is Speedup with cancellation; renderers use it so a cancelled
+// experiment job stops between (warm) memo reads.
+func (se *Session) SpeedupCtx(ctx context.Context, spec Spec) (float64, error) {
+	spec = spec.Canonical()
+	r, err := se.RunCtx(ctx, spec)
 	if err != nil {
 		return 0, err
 	}
-	base, err := se.Run(spec.Baseline())
+	base, err := se.RunCtx(ctx, spec.Baseline())
 	if err != nil {
 		return 0, err
 	}
@@ -421,7 +626,19 @@ func (se *Session) sortedSpecs() []Spec {
 		if a.Counters != b.Counters {
 			return a.Counters < b.Counters
 		}
-		return a.Recovery < b.Recovery
+		if a.Recovery != b.Recovery {
+			return a.Recovery < b.Recovery
+		}
+		if a.Width != b.Width {
+			return a.Width < b.Width
+		}
+		if a.LoadsOnly != b.LoadsOnly {
+			return b.LoadsOnly
+		}
+		if a.MaxHist != b.MaxHist {
+			return a.MaxHist < b.MaxHist
+		}
+		return a.FPCVec < b.FPCVec
 	})
 	return out
 }

@@ -134,7 +134,7 @@ func TestStaticExperimentsRender(t *testing.T) {
 			t.Fatalf("experiment %q missing", id)
 		}
 		var sb strings.Builder
-		if err := e.Run(se, &sb); err != nil {
+		if err := e.Run(context.Background(), se, &sb); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 		if len(sb.String()) < 50 {
@@ -252,7 +252,7 @@ func TestAblationExperimentsRun(t *testing.T) {
 			t.Fatalf("experiment %q missing", id)
 		}
 		var sb strings.Builder
-		if err := Render(se, e, "text", 0, &sb); err != nil {
+		if err := Render(context.Background(), se, e, "text", 0, &sb); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 		if len(sb.String()) < 80 {
@@ -267,16 +267,16 @@ func TestAblationExperimentsRun(t *testing.T) {
 func TestRenderFormats(t *testing.T) {
 	se := NewSession(testWindows(1_000, 4_000))
 	table1, _ := ExperimentByID("table1")
-	if err := Render(se, table1, "json", 0, io.Discard); err == nil {
+	if err := Render(context.Background(), se, table1, "json", 0, io.Discard); err == nil {
 		t.Error("json rendering of a text-only experiment accepted")
 	}
 	fig1, _ := ExperimentByID("fig1")
-	if err := Render(se, fig1, "bogus", 0, io.Discard); err == nil {
+	if err := Render(context.Background(), se, fig1, "bogus", 0, io.Discard); err == nil {
 		t.Error("unknown format accepted")
 	}
 	for _, format := range []string{"text", "json", "csv"} {
 		var sb strings.Builder
-		if err := Render(se, fig1, format, 0, &sb); err != nil {
+		if err := Render(context.Background(), se, fig1, format, 0, &sb); err != nil {
 			t.Errorf("fig1 %s: %v", format, err)
 		}
 		if sb.Len() == 0 {

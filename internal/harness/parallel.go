@@ -98,12 +98,13 @@ func ParallelRun(se *Session, specs []Spec, workers int) ([]*Result, error) {
 
 // Prepare batch-schedules an experiment's pre-declared spec set across the
 // worker pool so that rendering afterwards only hits warm memo entries.
-// Experiments without a declared spec set are a no-op.
-func (se *Session) Prepare(e Experiment, workers int) error {
+// Experiments without a declared spec set are a no-op. ctx cancels the
+// batch (see RunAllCtx).
+func (se *Session) Prepare(ctx context.Context, e Experiment, workers int) error {
 	if e.Specs == nil {
 		return nil
 	}
-	_, err := se.RunAll(e.Specs(), workers)
+	_, err := se.RunAllCtx(ctx, e.Specs(), workers)
 	return err
 }
 

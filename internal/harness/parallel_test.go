@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -49,10 +50,10 @@ func TestRunAllDeterminism(t *testing.T) {
 	// sessions are fully warm, so rendering adds no simulations).
 	var a, b strings.Builder
 	for _, c := range []Counters{BaselineCounters, FPC} {
-		if err := speedupMatrixOver(seq, &a, kernels, singlePredictors, c, pipeline.SquashAtCommit); err != nil {
+		if err := speedupMatrixOver(context.Background(), seq, &a, kernels, singlePredictors, c, pipeline.SquashAtCommit); err != nil {
 			t.Fatal(err)
 		}
-		if err := speedupMatrixOver(par, &b, kernels, singlePredictors, c, pipeline.SquashAtCommit); err != nil {
+		if err := speedupMatrixOver(context.Background(), par, &b, kernels, singlePredictors, c, pipeline.SquashAtCommit); err != nil {
 			t.Fatal(err)
 		}
 	}

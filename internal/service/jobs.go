@@ -120,8 +120,11 @@ func (j *job) taskCtx() context.Context { return j.ctx }
 // deliver implements taskSink: it lands one task's result, streams any
 // requested record that just became computable (its spec and baseline are
 // both in the memo, so Session.Record is a pure warm lookup), and closes
-// allDone on the last task. Deliveries after the job finished (late
-// cancellation fallout) are dropped.
+// allDone on the last task. A requested spec that completes without a
+// record — its simulation failed, its baseline failed, or flattening the
+// record itself failed — broadcasts a per-spec "error" event instead, so
+// streaming clients learn about the loss before the terminal "done".
+// Deliveries after the job finished (late cancellation fallout) are dropped.
 func (j *job) deliver(idx int, res *harness.Result, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -143,18 +146,29 @@ func (j *job) deliver(idx int, res *harness.Result, err error) {
 		if b := j.baseIdx[i]; b >= 0 && !j.delivered[b] {
 			continue
 		}
-		specOK := j.errs[j.taskIdx[i]] == nil
-		baseOK := j.baseIdx[i] < 0 || j.errs[j.baseIdx[i]] == nil
+		specErr := j.errs[j.taskIdx[i]]
+		var baseErr error
+		if j.baseIdx[i] >= 0 {
+			baseErr = j.errs[j.baseIdx[i]]
+		}
 		j.recorded[i] = true
 		j.completed++
-		if specOK && baseOK {
+		recErr := specErr
+		if recErr == nil {
+			recErr = baseErr
+		}
+		if recErr == nil {
 			rec, rerr := j.server.session.Record(j.results[j.taskIdx[i]])
 			if rerr != nil {
 				j.errs[j.taskIdx[i]] = rerr
+				recErr = rerr
 			} else {
 				j.records[i] = &rec
 				j.broadcastLocked(Event{Type: "record", Index: i, Record: &rec})
 			}
+		}
+		if recErr != nil {
+			j.broadcastLocked(Event{Type: "error", Index: i, Error: recErr.Error()})
 		}
 	}
 	if j.nDeliv == len(j.tasks) {
@@ -221,27 +235,20 @@ func (j *job) finalize() {
 
 	var artifact string
 	var renderErr error
-	// The render runs on the job goroutine, not the worker pool, and cannot
-	// be interrupted mid-flight (Experiment.Run takes no context) — so skip
-	// it entirely for jobs that are already dead, and take the server's
-	// render semaphore so render-driven experiments (whose simulation lives
-	// inside Experiment.Run) cannot multiply past it. The wait itself is
-	// cancellable.
+	// With every experiment's spec set pre-declared (ablation sweep points
+	// included) the render is a pure read of warm memo entries, and
+	// Experiment.Run takes the job context, so a DELETE landing mid-render
+	// interrupts it — even inside a simulation, should a memo entry turn
+	// out cold. No serialization is needed: simulation concurrency stays
+	// bounded by the worker pool, which already ran the declared specs.
 	if firstErr == nil && kind == "experiment" && j.ctx.Err() == nil {
-		select {
-		case j.server.renderSem <- struct{}{}:
-			if e, ok := harness.ExperimentByID(expID); ok {
-				var buf bytes.Buffer
-				if renderErr = e.Run(j.server.session, &buf); renderErr == nil {
-					artifact = buf.String()
-				}
-			} else {
-				renderErr = fmt.Errorf("experiment %q disappeared", expID)
+		if e, ok := harness.ExperimentByID(expID); ok {
+			var buf bytes.Buffer
+			if renderErr = e.Run(j.ctx, j.server.session, &buf); renderErr == nil {
+				artifact = buf.String()
 			}
-			<-j.server.renderSem
-		case <-j.ctx.Done():
-			// Cancelled while queued for the render; the switch below turns
-			// the dead context into the canceled state.
+		} else {
+			renderErr = fmt.Errorf("experiment %q disappeared", expID)
 		}
 	}
 
@@ -252,8 +259,13 @@ func (j *job) finalize() {
 	j.finished = time.Now()
 	j.artifact = artifact
 	switch {
-	case canceled || (firstErr != nil && harness.IsContextErr(firstErr)):
+	case canceled || (firstErr != nil && harness.IsContextErr(firstErr)) ||
+		(renderErr != nil && harness.IsContextErr(renderErr)):
 		j.state = StateCanceled
+		// A DELETE can land after the last simulation, while the warm
+		// render is completing under the already-dead context; the
+		// cancellation wins over "done", so the artifact goes with it.
+		j.artifact = ""
 		if firstErr != nil {
 			j.errMsg = firstErr.Error()
 		} else {
@@ -267,6 +279,30 @@ func (j *job) finalize() {
 		j.errMsg = renderErr.Error()
 	default:
 		j.state = StateDone
+	}
+	// Flush per-spec error events for requested specs that will never
+	// produce a record: cancellation killed their tasks before delivery, or
+	// their delivery raced the terminal transition and was dropped. This
+	// keeps the stream's accounting exact — every requested spec emits a
+	// record or an error event before the terminal done — and stays within
+	// the subscriber buffer bound (at most one record-or-error per spec).
+	for i := range j.specs {
+		if j.recorded[i] || j.records[i] != nil {
+			continue
+		}
+		reason := firstErr
+		if err := j.errs[j.taskIdx[i]]; err != nil {
+			reason = err
+		}
+		if reason == nil {
+			if reason = j.ctx.Err(); reason == nil {
+				if reason = renderErr; reason == nil {
+					reason = context.Canceled
+				}
+			}
+		}
+		j.recorded[i] = true
+		j.broadcastLocked(Event{Type: "error", Index: i, Error: reason.Error()})
 	}
 	// The done event is light by contract: records already streamed one by
 	// one, but the artifact (a plain string) rides along so stream-only
@@ -292,9 +328,13 @@ func (j *job) cancelJob() {
 }
 
 // statusLocked snapshots the wire status; callers hold j.mu. withResults
-// selects whether a done job's record list and artifact are materialized —
-// the job listing and the stream's done event are contractually light, so
-// they skip the per-record copying.
+// selects whether a terminal job's record list and artifact are
+// materialized — the job listing and the stream's done event are
+// contractually light, so they skip the per-record copying. Failed and
+// canceled jobs materialize too: records that completed before the failure
+// are real results the client already paid for, so they are returned
+// (missing entries stay zero; the per-spec "error" events on the stream
+// say which).
 func (j *job) statusLocked(withResults bool) *JobStatus {
 	st := &JobStatus{
 		ID:            j.id,
@@ -312,7 +352,7 @@ func (j *job) statusLocked(withResults bool) *JobStatus {
 	if !j.finished.IsZero() {
 		st.FinishedUnix = j.finished.Unix()
 	}
-	if withResults && j.state == StateDone {
+	if withResults && terminalState(j.state) {
 		st.Records = make([]harness.Record, len(j.specs))
 		for i, r := range j.records {
 			if r != nil {

@@ -1,0 +1,192 @@
+// Internal tests for the scheduler's coalescing/promotion machinery and the
+// job layer's terminal-state semantics — paths the HTTP surface cannot
+// steer precisely (wire validation rejects the failing specs, and promotion
+// needs its waiters parked in a known order). Run with -race.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// promoSink is a single-task taskSink recording its one delivery.
+type promoSink struct {
+	ctx  context.Context
+	mu   sync.Mutex
+	res  *harness.Result
+	err  error
+	done chan struct{}
+}
+
+func newPromoSink(ctx context.Context) *promoSink {
+	return &promoSink{ctx: ctx, done: make(chan struct{})}
+}
+
+func (s *promoSink) taskCtx() context.Context { return s.ctx }
+
+func (s *promoSink) deliver(idx int, res *harness.Result, err error) {
+	s.mu.Lock()
+	s.res, s.err = res, err
+	s.mu.Unlock()
+	close(s.done)
+}
+
+func (s *promoSink) wait(t *testing.T, what string) (*harness.Result, error) {
+	t.Helper()
+	select {
+	case <-s.done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res, s.err
+}
+
+// TestOwnerPromotionServesParkedWaiters pins the scheduler's promotion path
+// with leftover parked waiters: the owner of an in-flight spec is cancelled
+// while three duplicates are parked on it — one already dead, two live. The
+// dead waiter must get its own context error, the first live waiter must be
+// promoted to owner, and the promoted re-run must serve the remaining
+// parked survivor too.
+func TestOwnerPromotionServesParkedWaiters(t *testing.T) {
+	// Windows long enough that the owner is still simulating while the
+	// waiters park and the cancellations land.
+	se := harness.NewSession(10_000, 1_500_000)
+	sched := newScheduler(se, 2)
+	defer sched.close()
+	spec := harness.Spec{Kernel: "gzip", Predictor: "none"}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	defer cancelOwner()
+	owner := newPromoSink(ownerCtx)
+	if err := sched.submit(task{sink: owner, idx: 0, spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	// The owner must hold the in-flight slot before any duplicate arrives,
+	// or a duplicate would own the spec instead.
+	waitFor("owner in flight", func() bool { return sched.busy.Load() == 1 })
+
+	deadCtx, cancelDead := context.WithCancel(context.Background())
+	defer cancelDead()
+	dead := newPromoSink(deadCtx)       // will be cancelled while parked
+	promoted := newPromoSink(context.Background())
+	survivor := newPromoSink(context.Background())
+	for i, s := range []*promoSink{dead, promoted, survivor} {
+		if err := sched.submit(task{sink: s, idx: i + 1, spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i + 1)
+		waitFor("waiter parked", func() bool { return sched.coalesced.Load() == want })
+	}
+
+	// Kill the first parked waiter, then the owner mid-simulation. The
+	// drain must hand dead its own error, promote the next live waiter,
+	// and keep the survivor parked for the re-run's fan-out.
+	cancelDead()
+	cancelOwner()
+
+	if _, err := owner.wait(t, "owner delivery"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled owner got %v, want context.Canceled", err)
+	}
+	if res, err := dead.wait(t, "dead-waiter delivery"); !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("dead waiter got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	pRes, pErr := promoted.wait(t, "promoted waiter delivery")
+	if pErr != nil || pRes == nil {
+		t.Fatalf("promoted waiter got (%v, %v), want a result", pRes, pErr)
+	}
+	sRes, sErr := survivor.wait(t, "survivor delivery")
+	if sErr != nil || sRes == nil {
+		t.Fatalf("parked survivor got (%v, %v), want a result", sRes, sErr)
+	}
+	if pRes.Stats != sRes.Stats {
+		t.Error("promoted owner and parked survivor got different results for one spec")
+	}
+	waitFor("workers idle", func() bool { return sched.busy.Load() == 0 })
+	// The re-run's result must be memoized for later requests (the
+	// cancellation was the owner's, not the promoted run's).
+	if hits, misses := se.MemoStats(); misses != 2 {
+		t.Errorf("memo misses = %d (hits %d), want 2: the abandoned owner run and the promoted re-run", misses, hits)
+	}
+}
+
+// TestFailedJobPartialRecordsAndErrorEvents pins two terminal-state
+// contracts at the job layer, using a spec that fails validation only at
+// simulation time (the wire layer would reject it earlier): a job that
+// fails still returns the records that completed before the failure, and
+// the stream carries a per-spec "error" event for the spec that produced no
+// record — not just the terminal "done".
+func TestFailedJobPartialRecordsAndErrorEvents(t *testing.T) {
+	srv, err := New(Options{Warmup: 1_000, Measure: 4_000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	specs := []harness.Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "bogus", Predictor: "none"},
+	}
+	j := srv.newJob("batch", "", specs)
+	if err := srv.admit(j); err != nil {
+		t.Fatal(err)
+	}
+	go j.run()
+	select {
+	case <-j.doneCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job never reached a terminal state")
+	}
+
+	st := j.status()
+	if st.State != StateFailed {
+		t.Fatalf("job state %q, want %q (error: %s)", st.State, StateFailed, st.Error)
+	}
+	if len(st.Records) != len(specs) {
+		t.Fatalf("terminal non-done status carries %d records, want %d (zero-filled)", len(st.Records), len(specs))
+	}
+	if st.Records[0].Kernel != "gzip" || st.Records[0].IPC <= 0 {
+		t.Errorf("completed spec's record missing from failed job: %+v", st.Records[0])
+	}
+	if st.Records[1].Kernel != "" {
+		t.Errorf("failed spec unexpectedly produced a record: %+v", st.Records[1])
+	}
+
+	replay, _, unsub := j.subscribe()
+	unsub()
+	var errorEvents, recordEvents int
+	for _, ev := range replay {
+		switch ev.Type {
+		case "error":
+			errorEvents++
+			if ev.Index != 1 || ev.Error == "" {
+				t.Errorf("error event for index %d with message %q, want index 1 with a message", ev.Index, ev.Error)
+			}
+		case "record":
+			recordEvents++
+			if ev.Index != 0 {
+				t.Errorf("record event for index %d, want 0", ev.Index)
+			}
+		}
+	}
+	if errorEvents != 1 || recordEvents != 1 {
+		t.Errorf("stream saw %d error and %d record events, want 1 and 1", errorEvents, recordEvents)
+	}
+}

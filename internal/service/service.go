@@ -67,12 +67,6 @@ type Server struct {
 	nextID  atomic.Uint64
 	syncWG  sync.WaitGroup // in-flight synchronous simulations
 
-	// renderSem serializes experiment-artifact renders. Spec simulation is
-	// bounded by the worker pool, but render-driven experiments (profile,
-	// abl-*) simulate inside Experiment.Run on the job goroutine; without
-	// this bound, MaxJobs such jobs could run that work concurrently.
-	renderSem chan struct{}
-
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for retention and listing
@@ -88,11 +82,10 @@ const finishedJobRetention = 256
 func New(o Options) (*Server, error) {
 	o = o.WithDefaults()
 	s := &Server{
-		opts:      o,
-		session:   harness.NewSession(o.Warmup, o.Measure),
-		jobs:      make(map[string]*job),
-		renderSem: make(chan struct{}, 1),
-		start:     time.Now(),
+		opts:    o,
+		session: harness.NewSession(o.Warmup, o.Measure),
+		jobs:    make(map[string]*job),
+		start:   time.Now(),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.sched = newScheduler(s.session, o.Workers)

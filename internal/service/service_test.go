@@ -258,7 +258,7 @@ func TestExperimentJob(t *testing.T) {
 
 	e, _ := harness.ExperimentByID("fig1")
 	var want bytes.Buffer
-	if err := harness.Render(harness.NewSession(testWarmup, testMeasure), e, "text", 1, &want); err != nil {
+	if err := harness.Render(context.Background(), harness.NewSession(testWarmup, testMeasure), e, "text", 1, &want); err != nil {
 		t.Fatal(err)
 	}
 	if final.Artifact != want.String() {
@@ -444,4 +444,180 @@ func BenchmarkServerThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(specs))*float64(b.N)/b.Elapsed().Seconds(), "specs/s")
+}
+
+// TestAblationExperimentCancelMidSimulation is the PR 4 acceptance pin:
+// with the render semaphore gone, an ablation experiment job — whose sweep
+// points are now pre-declared extended specs fanned through the shared
+// worker pool — must be cancellable mid-simulation, freeing its workers
+// (observable via /v1/statsz) and ending canceled.
+func TestAblationExperimentCancelMidSimulation(t *testing.T) {
+	// Long windows so the sweep is mid-flight when the DELETE lands.
+	_, c, _ := newTestServer(t, Options{Workers: 2, Warmup: 10_000, Measure: 1_500_000})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	st, err := c.SubmitExperiment(ctx, "abl-hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Specs == 0 {
+		t.Fatalf("abl-hist declared no specs; the ablation is not pool-scheduled: %+v", st)
+	}
+
+	waitFor := func(what string, cond func(ServerStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cond(stats) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor("ablation simulations in flight", func(s ServerStats) bool { return s.BusyWorkers > 0 })
+
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("workers freed after cancel", func(s ServerStats) bool {
+		return s.BusyWorkers == 0 && s.QueuedTasks == 0
+	})
+
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("cancelled ablation job is %q, want %q", final.State, StateCanceled)
+	}
+	if final.Artifact != "" {
+		t.Errorf("cancelled job rendered an artifact anyway (%d bytes)", len(final.Artifact))
+	}
+}
+
+// TestCanceledJobReturnsPartialRecords: records that completed before a
+// DELETE are returned on the canceled job's terminal status instead of
+// being discarded.
+func TestCanceledJobReturnsPartialRecords(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{Workers: 2, Warmup: 5_000, Measure: 800_000})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	var reqs []SpecRequest
+	for _, k := range []string{"gzip", "art", "parser"} {
+		for _, p := range []string{"none", "lvp"} {
+			reqs = append(reqs, SpecRequest{Kernel: k, Predictor: p})
+		}
+	}
+	st, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		cur, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Completed >= 2 || cur.Finished() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed its first records")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		// With small kernels the batch can occasionally finish before the
+		// DELETE lands; that run proves nothing about partial records.
+		if final.State == StateDone {
+			t.Skip("batch finished before the cancel landed; nothing partial to assert")
+		}
+		t.Fatalf("job finished %q, want %q", final.State, StateCanceled)
+	}
+	if len(final.Records) != len(reqs) {
+		t.Fatalf("canceled job carries %d records, want %d (zero-filled)", len(final.Records), len(reqs))
+	}
+	have := 0
+	for _, r := range final.Records {
+		if r.Kernel != "" {
+			if r.IPC <= 0 {
+				t.Errorf("degenerate partial record: %+v", r)
+			}
+			have++
+		}
+	}
+	if have == 0 {
+		t.Error("canceled job returned no partial records despite completed specs")
+	}
+
+	// The stream's accounting must be exact even under cancellation: every
+	// requested spec emits a record or a per-spec error event before done.
+	recorded, errored := 0, 0
+	if _, err := c.Stream(ctx, st.ID, func(ev Event) error {
+		switch ev.Type {
+		case "record":
+			recorded++
+		case "error":
+			errored++
+			if ev.Error == "" {
+				t.Errorf("error event without a message: %+v", ev)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recorded != have || recorded+errored != len(reqs) {
+		t.Errorf("stream accounted %d records + %d errors over %d specs (%d recorded on the job)",
+			recorded, errored, len(reqs), have)
+	}
+}
+
+// TestExtendedSpecOverWire drives one extended-key spec through the full
+// HTTP path: the knob must reach the simulator, the record must echo the
+// canonical key, and invalid extended specs must be 400s.
+func TestExtendedSpecOverWire(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{})
+	ctx := context.Background()
+	rec, err := c.Simulate(ctx, SpecRequest{Kernel: "art", Predictor: "vtage", Counters: "fpc", Width: 4, MaxHist: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Width != 4 || rec.MaxHist != 256 || rec.IPC <= 0 || rec.Speedup <= 0 {
+		t.Errorf("extended record did not round-trip: %+v", rec)
+	}
+	// An explicit vector equal to a named scheme folds onto it on the wire.
+	rec, err = c.Simulate(ctx, SpecRequest{Kernel: "art", Predictor: "lvp", FPCVector: "0,4,4,4,4,5,5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counters != "FPC" || rec.FPCVector != "" {
+		t.Errorf("canonicalization did not fold the explicit vector onto FPC: %+v", rec)
+	}
+	for _, bad := range []SpecRequest{
+		{Kernel: "art", Predictor: "lvp", Width: 99},
+		{Kernel: "art", Predictor: "lvp", MaxHist: 256},
+		{Kernel: "art", Predictor: "vtage", MaxHist: 1},
+		{Kernel: "art", Predictor: "vtage", FPCVector: "1,2,3"},
+	} {
+		if _, err := c.Simulate(ctx, bad); err == nil {
+			t.Errorf("bad extended spec %+v accepted", bad)
+		} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 400 {
+			t.Errorf("bad extended spec %+v: got %v, want HTTP 400", bad, err)
+		}
+	}
 }

@@ -10,7 +10,6 @@ package service
 
 import (
 	"fmt"
-	"slices"
 
 	"repro/internal/harness"
 	"repro/internal/pipeline"
@@ -18,23 +17,28 @@ import (
 
 // SpecRequest is the wire form of one simulation spec. Counters and
 // Recovery use the same strings as the CLIs: "baseline" (default) or "fpc",
-// and "squash" (default) or "reissue".
+// and "squash" (default) or "reissue". The remaining fields are the
+// extended config key (harness.Spec): zero values mean the paper's default
+// machine, so pre-PR4 requests are unchanged. Width overrides the machine
+// width, LoadsOnly restricts prediction to loads, MaxHist overrides
+// VTAGE's history length (vtage-family predictors only), and FPCVector
+// ("0,2,2,2,2,3,3") replaces the counters-derived probability vector.
 type SpecRequest struct {
 	Kernel    string `json:"kernel"`
 	Predictor string `json:"predictor"`
 	Counters  string `json:"counters,omitempty"`
 	Recovery  string `json:"recovery,omitempty"`
+	Width     int    `json:"width,omitempty"`
+	LoadsOnly bool   `json:"loads_only,omitempty"`
+	MaxHist   int    `json:"max_hist,omitempty"`
+	FPCVector string `json:"fpc_vector,omitempty"`
 }
 
-// Spec validates the request and converts it to a harness spec.
+// Spec converts the request to a canonical harness spec, validating it the
+// same way (and in the same canonical-first order) as the harness itself,
+// so the wire layer and the Go API accept exactly the same configurations.
 func (r SpecRequest) Spec() (harness.Spec, error) {
 	var s harness.Spec
-	if !slices.Contains(harness.KernelNames(), r.Kernel) {
-		return s, fmt.Errorf("unknown kernel %q", r.Kernel)
-	}
-	if !slices.Contains(harness.PredictorNames, r.Predictor) {
-		return s, fmt.Errorf("unknown predictor %q (have %v)", r.Predictor, harness.PredictorNames)
-	}
 	s.Kernel, s.Predictor = r.Kernel, r.Predictor
 	switch r.Counters {
 	case "", "baseline":
@@ -52,6 +56,14 @@ func (r SpecRequest) Spec() (harness.Spec, error) {
 	default:
 		return s, fmt.Errorf("unknown recovery %q (have squash, reissue)", r.Recovery)
 	}
+	s.Width = r.Width
+	s.LoadsOnly = r.LoadsOnly
+	s.MaxHist = r.MaxHist
+	s.FPCVec = r.FPCVector
+	s = s.Canonical()
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
 	return s, nil
 }
 
@@ -68,6 +80,10 @@ func RequestFor(s harness.Spec) SpecRequest {
 		Predictor: s.Predictor,
 		Counters:  counters,
 		Recovery:  s.Recovery.String(),
+		Width:     s.Width,
+		LoadsOnly: s.LoadsOnly,
+		MaxHist:   s.MaxHist,
+		FPCVector: s.FPCVec,
 	}
 }
 
@@ -88,7 +104,9 @@ const (
 // JobStatus is the wire form of one job. Records (per requested spec, in
 // spec order, identical to a sequential Session.Records over the same
 // specs) and Artifact (the rendered text table of an experiment job) are
-// populated only once State is "done".
+// populated once State is terminal. A failed or canceled job returns the
+// records that completed before it died — missing entries are zero-valued;
+// the stream's per-spec "error" events name the ones that were lost.
 type JobStatus struct {
 	ID            string           `json:"id"`
 	Kind          string           `json:"kind"` // "batch" or "experiment"
@@ -116,17 +134,21 @@ func (s JobStatus) Finished() bool { return terminalState(s.State) }
 // Event is one line of a job's NDJSON stream (or one SSE data frame):
 // "record" events carry one finished record with its index into the
 // requested spec order (records stream in completion order, not spec
-// order); the final "done" event carries the terminal JobStatus, records
-// omitted since they were already streamed.
+// order); "error" events carry the failure of one requested spec that will
+// never produce a record (its simulation, its baseline, or the record
+// flattening failed — cancellation included), so a streaming client learns
+// about the loss before the terminal "done"; the final "done" event carries
+// the terminal JobStatus, records omitted since they were already streamed.
 type Event struct {
-	Type string `json:"type"` // "status", "record", "done"
-	// Index is meaningful only when Type is "record" (status/done events
-	// carry a zero Index that refers to nothing). It is always serialized —
-	// no omitempty — so a record event for spec 0 looks like every other
-	// record event.
+	Type string `json:"type"` // "status", "record", "error", "done"
+	// Index is meaningful only when Type is "record" or "error"
+	// (status/done events carry a zero Index that refers to nothing). It is
+	// always serialized — no omitempty — so a record event for spec 0 looks
+	// like every other record event.
 	Index  int             `json:"index"`
 	Record *harness.Record `json:"record,omitempty"`
 	Job    *JobStatus      `json:"job,omitempty"`
+	Error  string          `json:"error,omitempty"` // set when Type is "error"
 }
 
 // ExperimentInfo is one row of GET /v1/experiments.
