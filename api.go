@@ -7,16 +7,18 @@
 // TAGE branch prediction, store sets, a three-level cache hierarchy over a
 // DDR3 model, and 19 synthetic SPEC-like kernels.
 //
-// This root package is the stable facade: it names kernels, predictors and
-// recovery modes, runs simulations, and exposes the paper's experiments.
-// The building blocks live in internal/ packages (see DESIGN.md for the
-// system inventory and per-experiment index).
+// This root package is the stable facade. Its center is the backend-neutral
+// Runner API (runner.go): one Spec vocabulary and one interface —
+// Simulate/Batch/Experiment — served either in-process over a long-lived
+// warm session (LocalRunner) or by a vpserved daemon (RemoteRunner). The
+// building blocks live in internal/ packages (see DESIGN.md for the system
+// inventory, §7 for the facade design and the deprecation table).
 package repro
 
 import (
 	"context"
-	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/harness"
 	"repro/internal/kernels"
@@ -43,10 +45,67 @@ const (
 	FPC              = harness.FPC
 )
 
-// Options configures one simulation. The extended fields (Width, LoadsOnly,
-// MaxHist, FPCVector) are the canonical config key of harness.Spec: zero
-// values select the paper's Table 2 machine, so existing callers are
-// unchanged.
+// Kernels lists the 19 synthetic benchmark names (Table 3 order).
+func Kernels() []string { return kernels.Names() }
+
+// Predictors lists the predictor configuration names: "none", "lvp",
+// "stride", "fcm", "vtage", "oracle", "fcm+stride", "vtage+stride", "ps",
+// "gdiff".
+func Predictors() []string { return harness.PredictorNames }
+
+// Experiments lists the reproducible tables and figures by id. For the
+// backend's own index (a remote server may serve a different build), use
+// Runner.Experiments.
+func Experiments() []string {
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ExperimentOptions sizes, parallelizes, and formats one experiment run.
+// With a Runner, Warmup/Measure are per-call window overrides: zero keeps
+// the runner's windows; a LocalRunner honours an override on a throwaway
+// session, a RemoteRunner refuses a mismatch with the server's windows.
+type ExperimentOptions struct {
+	Warmup  uint64 // µops before measurement per simulation (0: runner default)
+	Measure uint64 // measured µops per simulation (0: runner default)
+	Workers int    // parallel simulation workers (<=0: runner default; remote: server pool)
+	Format  string // "text" (default), "json", or "csv"
+}
+
+// APIError is a typed service-layer failure: HTTP status, a stable
+// machine-readable code (APICode* constants), and the server's message.
+// Client and RemoteRunner calls return it unwrapped — assert with
+// errors.As(err, *APIError).
+type APIError = service.APIError
+
+// Stable APIError codes.
+const (
+	APICodeBadRequest = service.CodeBadRequest
+	APICodeNotFound   = service.CodeNotFound
+	APICodeTooLarge   = service.CodeTooLarge
+	APICodeQueueFull  = service.CodeQueueFull
+	APICodeDraining   = service.CodeDraining
+	APICodeTimeout    = service.CodeTimeout
+	APICodeInternal   = service.CodeInternal
+)
+
+// ---------------------------------------------------------------------------
+// Deprecated one-shot entry points.
+//
+// These predate the Runner API and are kept as thin wrappers so existing
+// callers keep compiling — and get faster: they are backed by shared
+// process-default LocalRunners (one per distinct window sizing), so repeated
+// calls hit the warm memo instead of re-paying predictor/cache warmup in a
+// cold throwaway session, which is what each call used to cost.
+// ---------------------------------------------------------------------------
+
+// Options configures one Simulate call: a Spec's fields plus sizing knobs.
+//
+// Deprecated: build a Spec and use Runner.Simulate; sizing lives in
+// RunnerOptions.
 type Options struct {
 	Kernel    string   // one of Kernels()
 	Predictor string   // one of Predictors()
@@ -62,6 +121,20 @@ type Options struct {
 	FPCVector string // explicit FPC vector, e.g. "0,2,2,2,2,3,3" ("": derive from Counters)
 }
 
+// spec extracts the simulation identity from the options.
+func (o Options) spec() Spec {
+	return Spec{
+		Kernel:    o.Kernel,
+		Predictor: o.Predictor,
+		Counters:  o.Counters,
+		Recovery:  o.Recovery,
+		Width:     o.Width,
+		LoadsOnly: o.LoadsOnly,
+		MaxHist:   o.MaxHist,
+		FPCVec:    o.FPCVector,
+	}
+}
+
 // Summary reports the headline results of one simulation.
 type Summary struct {
 	Kernel    string         `json:"kernel"`
@@ -73,41 +146,67 @@ type Summary struct {
 	Stats     pipeline.Stats `json:"stats"` // full counters
 }
 
-// Kernels lists the 19 synthetic benchmark names (Table 3 order).
-func Kernels() []string { return kernels.Names() }
+// defaultRunners holds the process-default LocalRunners backing the
+// deprecated wrappers, one per distinct (warmup, measure) sizing, so legacy
+// call sites share warm sessions. Each entry's memory is its session's
+// memoized traces/results, so the pool is bounded: beyond
+// maxDefaultRunners distinct sizings the oldest runner is dropped (its
+// next use simply pays a cold session again — the pre-Runner behaviour on
+// every call).
+const maxDefaultRunners = 8
 
-// Predictors lists the predictor configuration names: "none", "lvp",
-// "stride", "fcm", "vtage", "oracle", "fcm+stride", "vtage+stride".
-func Predictors() []string { return harness.PredictorNames }
+var (
+	defaultMu      sync.Mutex
+	defaultRunners = map[[2]uint64]*LocalRunner{}
+	defaultOrder   [][2]uint64 // insertion order, for eviction
+)
+
+// defaultLocalRunner returns the shared runner for the given windows
+// (zeroes mean the facade defaults), creating it on first use.
+func defaultLocalRunner(warmup, measure uint64) *LocalRunner {
+	o := RunnerOptions{Warmup: warmup, Measure: measure}.withDefaults()
+	key := [2]uint64{o.Warmup, o.Measure}
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if r, ok := defaultRunners[key]; ok {
+		return r
+	}
+	if len(defaultOrder) >= maxDefaultRunners {
+		delete(defaultRunners, defaultOrder[0])
+		defaultOrder = defaultOrder[1:]
+	}
+	r := NewLocalRunner(o)
+	defaultRunners[key] = r
+	defaultOrder = append(defaultOrder, key)
+	return r
+}
+
+// DefaultRunner returns the process-default LocalRunner with the facade's
+// default windows — the quickest way to a warm, shareable backend.
+func DefaultRunner() *LocalRunner { return defaultLocalRunner(0, 0) }
 
 // Simulate runs one kernel × predictor configuration and returns its
 // summary. The baseline (no-VP) run used for the speedup is included in the
-// cost.
+// cost. Runs execute on a shared process-default session: a repeated call
+// is a memo hit, not a fresh simulation.
+//
+// Deprecated: use Runner.Simulate, which returns the structured Record and
+// works against remote backends too. Simulate remains for callers that need
+// the full pipeline.Stats counters.
 func Simulate(o Options) (Summary, error) {
-	if o.Warmup == 0 {
-		o.Warmup = 50_000
+	r := defaultLocalRunner(o.Warmup, o.Measure)
+	spec := o.spec().Canonical()
+	if err := spec.Validate(); err != nil {
+		return Summary{}, err
 	}
-	if o.Measure == 0 {
-		o.Measure = 250_000
-	}
-	se := harness.NewSession(o.Warmup, o.Measure)
-	spec := harness.Spec{
-		Kernel:    o.Kernel,
-		Predictor: o.Predictor,
-		Counters:  o.Counters,
-		Recovery:  o.Recovery,
-		Width:     o.Width,
-		LoadsOnly: o.LoadsOnly,
-		MaxHist:   o.MaxHist,
-		FPCVec:    o.FPCVector,
-	}.Canonical()
 	// Batch the run and its baseline so they execute in parallel when the
 	// caller grants more than one worker.
+	se := r.Session()
 	results, err := se.RunAll([]harness.Spec{spec, spec.Baseline()}, o.Workers)
 	if err != nil {
 		return Summary{}, err
 	}
-	r := results[0]
+	res := results[0]
 	sp, err := se.Speedup(spec)
 	if err != nil {
 		return Summary{}, err
@@ -115,59 +214,50 @@ func Simulate(o Options) (Summary, error) {
 	return Summary{
 		Kernel:    o.Kernel,
 		Predictor: o.Predictor,
-		IPC:       r.Stats.IPC(),
+		IPC:       res.Stats.IPC(),
 		Speedup:   sp,
-		Coverage:  r.Stats.Coverage(),
-		Accuracy:  r.Stats.Accuracy(),
-		Stats:     r.Stats,
+		Coverage:  res.Stats.Coverage(),
+		Accuracy:  res.Stats.Accuracy(),
+		Stats:     res.Stats,
 	}, nil
-}
-
-// Experiments lists the reproducible tables and figures by id.
-func Experiments() []string {
-	var ids []string
-	for _, e := range harness.Experiments() {
-		ids = append(ids, e.ID)
-	}
-	return ids
-}
-
-// ExperimentOptions sizes, parallelizes, and formats one experiment run.
-type ExperimentOptions struct {
-	Warmup  uint64 // µops before measurement per simulation
-	Measure uint64 // measured µops per simulation
-	Workers int    // parallel simulation workers (<=0: GOMAXPROCS)
-	Format  string // "text" (default), "json", or "csv"
 }
 
 // RunExperiment regenerates one of the paper's tables or figures into w.
 // Warmup/measure size each underlying simulation.
+//
+// Deprecated: use Runner.Experiment.
 func RunExperiment(id string, warmup, measure uint64, w io.Writer) error {
 	return RunExperimentOpts(id, ExperimentOptions{Warmup: warmup, Measure: measure}, w)
 }
 
 // RunExperimentOpts regenerates one experiment into w, fanning its
 // simulations out across o.Workers goroutines and emitting o.Format.
+//
+// Deprecated: use Runner.Experiment.
 func RunExperimentOpts(id string, o ExperimentOptions, w io.Writer) error {
 	return RunExperimentContext(context.Background(), id, o, w)
 }
 
 // RunExperimentContext is RunExperimentOpts with cancellation: when ctx is
 // done, unstarted simulations are abandoned, in-flight ones stop at their
-// next cancellation checkpoint, and the context error is returned.
+// next cancellation checkpoint, and the context error is returned. Like
+// Simulate, it runs on the shared process-default runner for its windows.
+//
+// Deprecated: use Runner.Experiment.
 func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions, w io.Writer) error {
-	e, ok := harness.ExperimentByID(id)
-	if !ok {
-		return fmt.Errorf("repro: unknown experiment %q (have %v)", id, Experiments())
-	}
-	return harness.Render(ctx, harness.NewSession(o.Warmup, o.Measure), e, o.Format, o.Workers, w)
+	r := defaultLocalRunner(o.Warmup, o.Measure)
+	// The runner already carries the windows; pass only the per-call knobs.
+	return r.Experiment(ctx, id, ExperimentOptions{Workers: o.Workers, Format: o.Format}, w)
 }
 
+// ---------------------------------------------------------------------------
 // Service layer (DESIGN.md §6): the simulation-as-a-service subsystem. A
 // Server is one process-lifetime session behind the /v1 HTTP job API —
 // synchronous simulation, batch and experiment jobs, NDJSON/SSE result
 // streaming, cancellation, and /healthz + /statsz observability. cmd/vpserved
-// is the standalone daemon; Client is the typed way to talk to either.
+// is the standalone daemon; Client is the typed way to talk to either, and
+// RemoteRunner (runner_remote.go) the backend-neutral one.
+// ---------------------------------------------------------------------------
 
 // Server is the simulation service as an http.Handler.
 type Server = service.Server

@@ -28,6 +28,7 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/benchkit"
 	"repro/internal/harness"
 	"repro/internal/service"
@@ -67,6 +68,20 @@ type AblationResult struct {
 	SpecsPerSec float64 `json:"specs_per_sec"`
 }
 
+// RunnerResult measures the facade's backend-neutral dispatch overhead: the
+// same warm (memo-hit) spec repeatedly dispatched through a LocalRunner and
+// through a RemoteRunner against an in-process HTTP server. Simulation cost
+// cancels out, so the numbers isolate what a caller pays per call for each
+// backend — scheduling and record flattening locally; HTTP, JSON and the
+// job machinery remotely.
+type RunnerResult struct {
+	WarmCalls         int     `json:"warm_calls"`
+	LocalUsPerCall    float64 `json:"local_us_per_call"`
+	RemoteUsPerCall   float64 `json:"remote_us_per_call"`
+	OverheadUsPerCall float64 `json:"overhead_us_per_call"`
+	OverheadRatio     float64 `json:"overhead_ratio"`
+}
+
 // ServerResult measures the service layer (internal/service) end to end:
 // several concurrent clients submit the same fig4 spec batch over HTTP to
 // an in-process server, so the number folds in scheduling, streaming, and —
@@ -91,6 +106,7 @@ type Record struct {
 	Fig4        *Fig4Result        `json:"fig4,omitempty"`
 	Ablation    *AblationResult    `json:"ablation,omitempty"`
 	Server      *ServerResult      `json:"server,omitempty"`
+	Runner      *RunnerResult      `json:"runner,omitempty"`
 	Before      *Record            `json:"before,omitempty"`
 	Speedups    map[string]float64 `json:"speedup_vs_before,omitempty"`
 }
@@ -157,6 +173,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  %d specs served in %.2fs = %.0f specs/s (%d unique, %d workers)\n",
 		sv.SpecsServed, sv.WallSeconds, sv.SpecsPerSec, sv.UniqueSpecs, sv.Workers)
 	rec.Server = &sv
+
+	fmt.Fprintf(os.Stderr, "bench: runner dispatch overhead (warm spec, local vs remote backend)\n")
+	rn, err := measureRunnerOverhead(*warmup, *measure)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  %d warm calls: %.1f µs/call local, %.1f µs/call remote (+%.1f µs, %.1fx)\n",
+		rn.WarmCalls, rn.LocalUsPerCall, rn.RemoteUsPerCall, rn.OverheadUsPerCall, rn.OverheadRatio)
+	rec.Runner = &rn
 
 	if *before != "" {
 		prev, err := loadRecord(*before)
@@ -372,6 +397,66 @@ func measureServer(warmup, measure uint64, workers int) (ServerResult, error) {
 	}, nil
 }
 
+// runnerWarmCalls is how many warm dispatches each backend is timed over;
+// the per-call quotient is stable well below this.
+const runnerWarmCalls = 300
+
+// measureRunnerOverhead times repeated warm Simulate calls of one spec
+// through both Runner backends. The first call on each backend pays the
+// simulation; every timed call is a memo hit, so the µs/call difference is
+// pure dispatch overhead (the number BenchmarkRunnerRemoteOverhead tracks
+// interactively).
+func measureRunnerOverhead(warmup, measure uint64) (RunnerResult, error) {
+	ctx := context.Background()
+	spec := repro.Spec{Kernel: "art", Predictor: "vtage", Counters: repro.FPC}
+
+	timeCalls := func(r repro.Runner) (float64, error) {
+		if _, err := r.Simulate(ctx, spec); err != nil { // pay the simulation once
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < runnerWarmCalls; i++ {
+			if _, err := r.Simulate(ctx, spec); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds() * 1e6 / runnerWarmCalls, nil
+	}
+
+	local := repro.NewLocalRunner(repro.RunnerOptions{Warmup: warmup, Measure: measure})
+	defer local.Close()
+	localUs, err := timeCalls(local)
+	if err != nil {
+		return RunnerResult{}, err
+	}
+
+	srv, err := service.New(service.Options{Warmup: warmup, Measure: measure})
+	if err != nil {
+		return RunnerResult{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return RunnerResult{}, err
+	}
+	defer ln.Close()
+	go http.Serve(ln, srv)
+	remote := repro.NewRemoteRunner("http://" + ln.Addr().String())
+	defer remote.Close()
+	remoteUs, err := timeCalls(remote)
+	if err != nil {
+		return RunnerResult{}, err
+	}
+
+	return RunnerResult{
+		WarmCalls:         runnerWarmCalls,
+		LocalUsPerCall:    localUs,
+		RemoteUsPerCall:   remoteUs,
+		OverheadUsPerCall: remoteUs - localUs,
+		OverheadRatio:     remoteUs / localUs,
+	}, nil
+}
+
 // speedups compares the headline numbers of two records. Steady comparisons
 // match by predictor name; fig4 compares effective single-thread µops/s.
 func speedups(cur, prev *Record) map[string]float64 {
@@ -393,6 +478,10 @@ func speedups(cur, prev *Record) map[string]float64 {
 	}
 	if cur.Ablation != nil && prev.Ablation != nil && prev.Ablation.SpecsPerSec > 0 {
 		out["ablation_specs_per_sec"] = cur.Ablation.SpecsPerSec / prev.Ablation.SpecsPerSec
+	}
+	if cur.Runner != nil && prev.Runner != nil && cur.Runner.RemoteUsPerCall > 0 {
+		// >1 means remote dispatch got cheaper since the prior record.
+		out["runner_remote_dispatch"] = prev.Runner.RemoteUsPerCall / cur.Runner.RemoteUsPerCall
 	}
 	return out
 }

@@ -1,5 +1,8 @@
 // Command experiments regenerates the paper's tables and figures
-// (DESIGN.md §5 maps each id to the paper artifact).
+// (DESIGN.md §5 maps each id to the paper artifact). It runs through the
+// backend-neutral repro.Runner: in-process by default, or against a warm
+// vpserved daemon with -server — same ids, same flags, byte-identical
+// output.
 //
 // Usage:
 //
@@ -9,9 +12,12 @@
 //	experiments -run fig4 -workers 8         # parallel simulation
 //	experiments -run fig4 -format json       # structured results
 //	experiments -run abl-fpc -format csv     # ablations are structured too
+//	experiments -run fig4 -server http://127.0.0.1:8437   # remote, memo-warm
+//	experiments -list -server http://127.0.0.1:8437       # the server's index
 //
 // Ctrl-C (SIGINT) or SIGTERM cancels cleanly: in-flight simulations stop at
-// their next cancellation checkpoint and the process exits nonzero.
+// their next cancellation checkpoint (local and remote — a remote job is
+// cancelled server-side) and the process exits nonzero.
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro"
 	"repro/internal/harness"
 )
 
@@ -44,9 +52,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "run every experiment")
 	warmup := fs.Uint64("warmup", 50_000, "warmup µops per simulation")
 	measure := fs.Uint64("measure", 250_000, "measured µops per simulation")
-	workers := fs.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS; remote: server pool)")
 	format := fs.String("format", "text", "output format for -run: text, json, or csv")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -63,32 +72,64 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *list {
-		printIndex(stdout)
-		return 0
+	// Remote backends size simulations daemon-wide; only forward the window
+	// flags the user actually set, so the runner can verify them against the
+	// server (and default invocations just use the server's windows).
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var runner repro.Runner
+	if *server != "" {
+		runner = repro.NewRemoteRunner(*server)
+	} else {
+		runner = repro.NewLocalRunner(repro.RunnerOptions{
+			Warmup: *warmup, Measure: *measure, Workers: *workers,
+		})
+	}
+	defer runner.Close()
+
+	eo := repro.ExperimentOptions{Workers: *workers, Format: *format}
+	if *server != "" {
+		if explicit["warmup"] {
+			eo.Warmup = *warmup
+		}
+		if explicit["measure"] {
+			eo.Measure = *measure
+		}
 	}
 
-	se := harness.NewSession(*warmup, *measure)
+	index, err := runner.Experiments(ctx)
+	if err != nil {
+		return fail(err)
+	}
+
 	switch {
+	case *list:
+		printIndex(stdout, index)
+		return 0
 	case *all:
 		if *format != "text" {
 			fmt.Fprintln(stderr, "experiments: -format json|csv applies to -run, not -all")
 			return 2
 		}
-		if err := harness.RunAllExperiments(ctx, se, stdout, *workers); err != nil {
-			return fail(err)
+		for _, e := range index {
+			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
+			if err := runner.Experiment(ctx, e.ID, eo, stdout); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintln(stdout, strings.Repeat("-", 70))
 		}
 	case *runID != "":
-		e, ok := harness.ExperimentByID(*runID)
+		e, ok := experimentByID(index, *runID)
 		if !ok {
 			fmt.Fprintf(stderr, "experiments: unknown id %q; the experiment index (DESIGN.md §5.1):\n", *runID)
-			printIndex(stderr)
+			printIndex(stderr, index)
 			return 2
 		}
 		if *format == "text" {
 			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
 		}
-		if err := harness.Render(ctx, se, e, *format, *workers, stdout); err != nil {
+		if err := runner.Experiment(ctx, e.ID, eo, stdout); err != nil {
 			return fail(err)
 		}
 	default:
@@ -98,10 +139,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+func experimentByID(index []repro.ExperimentInfo, id string) (repro.ExperimentInfo, bool) {
+	for _, e := range index {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return repro.ExperimentInfo{}, false
+}
+
 // printIndex writes the §5.1 experiment index: id and the paper artifact it
 // regenerates.
-func printIndex(w io.Writer) {
-	for _, e := range harness.Experiments() {
+func printIndex(w io.Writer, index []repro.ExperimentInfo) {
+	for _, e := range index {
 		fmt.Fprintf(w, "%-9s %s\n", e.ID, e.Title)
 	}
 }

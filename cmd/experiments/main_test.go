@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestListShowsEveryExperiment(t *testing.T) {
@@ -17,6 +20,74 @@ func TestListShowsEveryExperiment(t *testing.T) {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("-list output missing %q", id)
 		}
+	}
+}
+
+// startServer hosts an in-process simulation service for -server tests and
+// returns its base URL.
+func startServer(t *testing.T, warmup, measure uint64) string {
+	t.Helper()
+	srv, err := repro.NewServer(repro.ServerOptions{Warmup: warmup, Measure: measure, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+// TestServerFlagMatchesInProcess is the retargeting acceptance test: the
+// same -run against -server and against the in-process backend must emit
+// byte-identical output, for the structured and the text renderer alike.
+func TestServerFlagMatchesInProcess(t *testing.T) {
+	url := startServer(t, 500, 2_000)
+	for _, format := range []string{"csv", "text"} {
+		var local, remote, errb bytes.Buffer
+		args := []string{"-run", "fig1", "-format", format, "-warmup", "500", "-measure", "2000"}
+		if code := run(context.Background(), args, &local, &errb); code != 0 {
+			t.Fatalf("local %s exited %d: %s", format, code, errb.String())
+		}
+		args = append(args, "-server", url)
+		if code := run(context.Background(), args, &remote, &errb); code != 0 {
+			t.Fatalf("remote %s exited %d: %s", format, code, errb.String())
+		}
+		if local.String() != remote.String() {
+			t.Errorf("fig1 %s output differs between backends:\n--- local\n%s--- remote\n%s",
+				format, local.String(), remote.String())
+		}
+	}
+}
+
+// TestServerFlagListAndErrors: -list reads the server's index; a window
+// mismatch against the daemon fails loudly; a dead server exits 1.
+func TestServerFlagListAndErrors(t *testing.T) {
+	url := startServer(t, 500, 2_000)
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-list", "-server", url}, &out, &errb); code != 0 {
+		t.Fatalf("-list -server exited %d: %s", code, errb.String())
+	}
+	for _, id := range []string{"fig4", "abl-width", "Table 1"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("remote -list output missing %q:\n%s", id, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	args := []string{"-run", "fig1", "-server", url, "-warmup", "999"}
+	if code := run(context.Background(), args, &out, &errb); code != 1 {
+		t.Fatalf("window mismatch exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "per-daemon") {
+		t.Errorf("window mismatch error does not explain itself: %s", errb.String())
+	}
+
+	errb.Reset()
+	if code := run(context.Background(), []string{"-run", "fig1", "-server", "http://127.0.0.1:1"}, &out, &errb); code != 1 {
+		t.Errorf("unreachable server exited %d, want 1 (stderr: %s)", code, errb.String())
 	}
 }
 

@@ -1,10 +1,17 @@
 // Command vpsim runs one kernel under one value-predictor configuration and
 // prints the headline statistics — the single-run workhorse behind the
-// experiment harness.
+// experiment harness. It dispatches through the backend-neutral repro.Runner:
+// in-process by default, or against a warm vpserved daemon with -server, so
+// parameter sweeps from the shell can reuse a remote memo.
 //
 // Usage:
 //
 //	vpsim -kernel art -pred vtage+stride -counters fpc -recovery squash
+//	vpsim -kernel art -pred vtage -width 4 -max-hist 256          # extended spec
+//	vpsim -kernel art -pred vtage -server http://127.0.0.1:8437   # remote dispatch
+//
+// Output is a flattened record; -format json emits it with the stable
+// field names shared by -format csv|json everywhere else (DESIGN.md §5.3).
 //
 // Profiling the simulator (see README.md "Profiling the hot path"):
 //
@@ -13,81 +20,117 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro"
 )
 
-// main only parses flags and exits; run does the work and returns the exit
-// code, so profile-flushing defers always execute even on failures.
 func main() {
-	kernel := flag.String("kernel", "art", "kernel to simulate (see -list)")
-	pred := flag.String("pred", "vtage", "value predictor: "+strings.Join(repro.Predictors(), ", "))
-	counters := flag.String("counters", "fpc", "confidence counters: baseline or fpc")
-	recovery := flag.String("recovery", "squash", "misprediction recovery: squash or reissue")
-	warmup := flag.Uint64("warmup", 50_000, "warmup µops")
-	measure := flag.Uint64("measure", 250_000, "measured µops")
-	workers := flag.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS)")
-	format := flag.String("format", "text", "output format: text or json")
-	list := flag.Bool("list", false, "list kernels and exit")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile after the run to this file")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args, executes, and returns the process exit code, so the
+// profile-flushing defers always execute even on failures and tests can
+// drive the real flag path.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "art", "kernel to simulate (see -list)")
+	pred := fs.String("pred", "vtage", "value predictor: "+strings.Join(repro.Predictors(), ", "))
+	counters := fs.String("counters", "fpc", "confidence counters: baseline or fpc")
+	recovery := fs.String("recovery", "squash", "misprediction recovery: squash or reissue")
+	warmup := fs.Uint64("warmup", 50_000, "warmup µops")
+	measure := fs.Uint64("measure", 250_000, "measured µops")
+	workers := fs.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS; ignored with -server: the daemon's pool applies)")
+	width := fs.Int("width", 0, "machine width override (0: the paper's 8-wide)")
+	loadsOnly := fs.Bool("loads-only", false, "restrict value prediction to load µops")
+	maxHist := fs.Int("max-hist", 0, "VTAGE max history override (0: the paper's 64)")
+	fpcVector := fs.String("fpc-vector", "", `explicit FPC vector, e.g. "0,2,2,2,2,3,3"`)
+	format := fs.String("format", "text", "output format: text or json")
+	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
+	list := fs.Bool("list", false, "list kernels and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile after the run to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, k := range repro.Kernels() {
-			fmt.Println(k)
+			fmt.Fprintln(stdout, k)
 		}
-		return
+		return 0
 	}
 
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "vpsim: unknown format %q (have text, json)\n", *format)
-		os.Exit(2)
-	}
-	opts := repro.Options{
-		Kernel:    *kernel,
-		Predictor: *pred,
-		Warmup:    *warmup,
-		Measure:   *measure,
-		Workers:   *workers,
-	}
-	switch *counters {
-	case "baseline":
-		opts.Counters = repro.BaselineCounters
-	case "fpc":
-		opts.Counters = repro.FPC
-	default:
-		fmt.Fprintf(os.Stderr, "vpsim: unknown counters %q\n", *counters)
-		os.Exit(2)
-	}
-	switch *recovery {
-	case "squash":
-		opts.Recovery = repro.SquashAtCommit
-	case "reissue":
-		opts.Recovery = repro.SelectiveReissue
-	default:
-		fmt.Fprintf(os.Stderr, "vpsim: unknown recovery %q\n", *recovery)
-		os.Exit(2)
+	if *server != "" {
+		// Remote simulations are sized by the daemon; refuse explicit window
+		// flags rather than silently returning differently-sized results.
+		bad := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "warmup" || f.Name == "measure" {
+				bad = true
+			}
+		})
+		if bad {
+			fmt.Fprintln(stderr, "vpsim: -warmup/-measure size local runs; a -server daemon's windows are set by vpserved -warmup/-measure")
+			return 2
+		}
 	}
 
-	os.Exit(run(opts, *counters, *recovery, *format, *cpuprofile, *memprofile))
-}
-
-func run(opts repro.Options, counters, recovery, format, cpuprofile, memprofile string) int {
 	fail := func(err error) int {
-		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		fmt.Fprintln(stderr, "vpsim:", err)
 		return 1
 	}
 
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "vpsim: unknown format %q (have text, json)\n", *format)
+		return 2
+	}
+	spec := repro.Spec{
+		Kernel:    *kernel,
+		Predictor: *pred,
+		Recovery:  repro.SquashAtCommit,
+		Width:     *width,
+		LoadsOnly: *loadsOnly,
+		MaxHist:   *maxHist,
+		FPCVec:    *fpcVector,
+	}
+	switch *counters {
+	case "baseline":
+		spec.Counters = repro.BaselineCounters
+	case "fpc":
+		spec.Counters = repro.FPC
+	default:
+		fmt.Fprintf(stderr, "vpsim: unknown counters %q (have baseline, fpc)\n", *counters)
+		return 2
+	}
+	switch *recovery {
+	case "squash":
+	case "reissue":
+		spec.Recovery = repro.SelectiveReissue
+	default:
+		fmt.Fprintf(stderr, "vpsim: unknown recovery %q (have squash, reissue)\n", *recovery)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			return fail(err)
 		}
@@ -97,45 +140,65 @@ func run(opts repro.Options, counters, recovery, format, cpuprofile, memprofile 
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if memprofile != "" {
+	if *memprofile != "" {
 		// Written after the run (LIFO before StopCPUProfile is fine: heap
 		// accounting is independent of the CPU profile).
 		defer func() {
-			f, err := os.Create(memprofile)
+			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "vpsim:", err)
+				fmt.Fprintln(stderr, "vpsim:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle accounting so the profile shows live + total allocation
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "vpsim:", err)
+				fmt.Fprintln(stderr, "vpsim:", err)
 			}
 		}()
 	}
 
-	s, err := repro.Simulate(opts)
+	var runner repro.Runner
+	if *server != "" {
+		// Remote windows are the daemon's; the flags size local runs only.
+		runner = repro.NewRemoteRunner(*server)
+	} else {
+		runner = repro.NewLocalRunner(repro.RunnerOptions{
+			Warmup: *warmup, Measure: *measure, Workers: *workers,
+		})
+	}
+	defer runner.Close()
+
+	rec, err := runner.Simulate(ctx, spec)
 	if err != nil {
 		return fail(err)
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
+	if *format == "json" {
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s); err != nil {
+		if err := enc.Encode(rec); err != nil {
 			return fail(err)
 		}
 		return 0
 	}
-	fmt.Printf("kernel      %s\n", s.Kernel)
-	fmt.Printf("predictor   %s (%s counters, %s recovery)\n", s.Predictor, counters, recovery)
-	fmt.Printf("IPC         %.3f\n", s.IPC)
-	fmt.Printf("speedup     %.3f (vs no value prediction)\n", s.Speedup)
-	fmt.Printf("coverage    %.1f%%\n", 100*s.Coverage)
-	fmt.Printf("accuracy    %.4f\n", s.Accuracy)
-	st := s.Stats
-	fmt.Printf("squashes    value=%d branch=%d memorder=%d reissued=%d\n",
-		st.SquashValue, st.SquashBranch, st.SquashMemOrder, st.ReissuedUops)
-	fmt.Printf("branches    %.2f MPKI\n", st.BranchMPKI())
-	fmt.Printf("back-to-back eligible fetches: %.1f%%\n", 100*st.B2BFraction())
+	printRecord(stdout, rec)
 	return 0
+}
+
+// printRecord renders the human-readable report from the flattened record —
+// the same fields whichever backend produced it.
+func printRecord(w io.Writer, r repro.Record) {
+	fmt.Fprintf(w, "kernel      %s\n", r.Kernel)
+	fmt.Fprintf(w, "predictor   %s (%s counters, %s recovery)\n", r.Predictor, r.Counters, r.Recovery)
+	if r.Width != 0 || r.LoadsOnly || r.MaxHist != 0 || r.FPCVector != "" {
+		fmt.Fprintf(w, "config      width=%d loads_only=%t max_hist=%d fpc_vector=%q (0/false: paper default)\n",
+			r.Width, r.LoadsOnly, r.MaxHist, r.FPCVector)
+	}
+	fmt.Fprintf(w, "IPC         %.3f\n", r.IPC)
+	fmt.Fprintf(w, "speedup     %.3f (vs no value prediction)\n", r.Speedup)
+	fmt.Fprintf(w, "coverage    %.1f%%\n", 100*r.Coverage)
+	fmt.Fprintf(w, "accuracy    %.4f\n", r.Accuracy)
+	fmt.Fprintf(w, "squashes    value=%d branch=%d memorder=%d reissued=%d\n",
+		r.SquashValue, r.SquashBranch, r.SquashMemOrder, r.ReissuedUops)
+	fmt.Fprintf(w, "branches    %.2f MPKI\n", r.BranchMPKI)
+	fmt.Fprintf(w, "back-to-back eligible fetches: %.1f%%\n", 100*r.B2BFraction)
 }

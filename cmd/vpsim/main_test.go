@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func runArgs(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+var shortWindows = []string{"-warmup", "500", "-measure", "2000"}
+
+// TestTextReport drives the default text path end to end, extended-spec
+// echo included.
+func TestTextReport(t *testing.T) {
+	args := append([]string{"-kernel", "gzip", "-pred", "lvp"}, shortWindows...)
+	out, errb, code := runArgs(t, args...)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, errb)
+	}
+	for _, want := range []string{"kernel      gzip", "lvp (FPC counters, squash recovery)", "IPC", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "config ") {
+		t.Errorf("default spec printed an extended-config line:\n%s", out)
+	}
+
+	args = append([]string{"-kernel", "gzip", "-pred", "vtage", "-width", "4", "-max-hist", "256"}, shortWindows...)
+	out, errb, code = runArgs(t, args...)
+	if code != 0 {
+		t.Fatalf("extended spec exited %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "width=4") || !strings.Contains(out, "max_hist=256") {
+		t.Errorf("extended spec not echoed:\n%s", out)
+	}
+}
+
+// TestJSONEmitsRecord: -format json emits the stable Record field names.
+func TestJSONEmitsRecord(t *testing.T) {
+	args := append([]string{"-kernel", "gzip", "-pred", "lvp", "-format", "json"}, shortWindows...)
+	out, errb, code := runArgs(t, args...)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, errb)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{"kernel", "predictor", "counters", "recovery", "ipc", "speedup", "fpc_vector"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("record missing field %q: %v", key, rec)
+		}
+	}
+	if rec["kernel"] != "gzip" || rec["predictor"] != "lvp" {
+		t.Errorf("wrong record identity: %v", rec)
+	}
+}
+
+// TestServerFlagMatchesInProcess: the same spec through -server and through
+// the in-process backend yields the identical record.
+func TestServerFlagMatchesInProcess(t *testing.T) {
+	srv, err := repro.NewServer(repro.ServerOptions{Warmup: 500, Measure: 2_000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	base := []string{"-kernel", "art", "-pred", "vtage", "-counters", "fpc", "-format", "json"}
+	local, errb, code := runArgs(t, append(base, shortWindows...)...)
+	if code != 0 {
+		t.Fatalf("local exited %d: %s", code, errb)
+	}
+	// The remote run carries no window flags: a daemon's windows are its own.
+	remote, errb, code := runArgs(t, append(base, "-server", ts.URL)...)
+	if code != 0 {
+		t.Fatalf("remote exited %d: %s", code, errb)
+	}
+	if local != remote {
+		t.Errorf("backends disagree:\n--- local\n%s--- remote\n%s", local, remote)
+	}
+
+	// Explicit window flags alongside -server are refused, not ignored.
+	if _, errb, code := runArgs(t, append(append(base, shortWindows...), "-server", ts.URL)...); code != 2 {
+		t.Errorf("-server with explicit windows exited %d (stderr %q), want 2", code, errb)
+	}
+}
+
+// TestBadInvocations covers flag validation and runtime failures.
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "bogus"},
+		{"-counters", "bogus"},
+		{"-recovery", "bogus"},
+		{"-bogusflag"},
+	} {
+		if _, _, code := runArgs(t, args...); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+	for _, args := range [][]string{
+		append([]string{"-kernel", "nope"}, shortWindows...),
+		append([]string{"-pred", "lvp", "-max-hist", "256"}, shortWindows...), // vtage-only knob
+		{"-server", "http://127.0.0.1:1"},
+	} {
+		if _, errb, code := runArgs(t, args...); code != 1 || !strings.Contains(errb, "vpsim:") {
+			t.Errorf("run(%v) exited %d (stderr %q), want 1", args, code, errb)
+		}
+	}
+}
+
+// TestListKernels: -list prints every kernel.
+func TestListKernels(t *testing.T) {
+	out, _, code := runArgs(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if got := len(strings.Fields(out)); got != len(repro.Kernels()) {
+		t.Errorf("-list printed %d kernels, want %d", got, len(repro.Kernels()))
+	}
+}

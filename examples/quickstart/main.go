@@ -1,9 +1,13 @@
 // Quickstart: simulate one kernel with the paper's recommended
 // configuration — the VTAGE + 2D-Stride hybrid with FPC confidence and
-// squash-at-commit recovery — and compare it with the no-VP baseline.
+// squash-at-commit recovery — through the backend-neutral Runner API, and
+// compare it with the no-VP baseline. Swap NewLocalRunner for
+// NewRemoteRunner("http://127.0.0.1:8437") and the same code runs against a
+// vpserved daemon.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,7 +15,10 @@ import (
 )
 
 func main() {
-	s, err := repro.Simulate(repro.Options{
+	r := repro.NewLocalRunner(repro.RunnerOptions{})
+	defer r.Close()
+
+	rec, err := r.Simulate(context.Background(), repro.Spec{
 		Kernel:    "art",
 		Predictor: "vtage+stride",
 		Counters:  repro.FPC,
@@ -22,10 +29,10 @@ func main() {
 	}
 
 	fmt.Println("Practical data value speculation, quickstart")
-	fmt.Printf("kernel %s with %s:\n", s.Kernel, s.Predictor)
-	fmt.Printf("  IPC       %.3f\n", s.IPC)
-	fmt.Printf("  speedup   %.2fx over the same machine without value prediction\n", s.Speedup)
-	fmt.Printf("  coverage  %.1f%% of eligible µops used a prediction\n", 100*s.Coverage)
-	fmt.Printf("  accuracy  %.4f of used predictions were correct\n", s.Accuracy)
-	fmt.Printf("  recovery  %d commit-time value squashes\n", s.Stats.SquashValue)
+	fmt.Printf("kernel %s with %s:\n", rec.Kernel, rec.Predictor)
+	fmt.Printf("  IPC       %.3f\n", rec.IPC)
+	fmt.Printf("  speedup   %.2fx over the same machine without value prediction\n", rec.Speedup)
+	fmt.Printf("  coverage  %.1f%% of eligible µops used a prediction\n", 100*rec.Coverage)
+	fmt.Printf("  accuracy  %.4f of used predictions were correct\n", rec.Accuracy)
+	fmt.Printf("  recovery  %d commit-time value squashes\n", rec.SquashValue)
 }

@@ -1,8 +1,10 @@
-// Service example: run one of the paper's experiments through the
-// simulation service and its typed client, streaming results as they land.
+// Service example: drive the simulation service through the
+// backend-neutral Runner API — an experiment rendered server-side and a
+// spec batch streamed record by record — plus the typed client for
+// health/stats observability.
 //
 // With no arguments it starts an in-process server on a random port — a
-// self-contained demo of repro.NewServer + repro.NewClient:
+// self-contained demo of repro.NewServer + repro.NewRemoteRunner:
 //
 //	go run ./examples/service
 //
@@ -56,34 +58,37 @@ func main() {
 	}
 	fmt.Printf("server healthy (up %.1fs)\n", h.UptimeS)
 
-	// Submit Fig. 1 (back-to-back VP-eligible fetches: one baseline run per
-	// kernel) and stream records as simulations finish.
-	job, err := c.SubmitExperiment(ctx, "fig1")
-	if err != nil {
-		log.Fatalf("submit: %v", err)
+	// The Runner is the backend-neutral face of the same daemon: this block
+	// runs unchanged against a LocalRunner.
+	r := repro.NewRemoteRunner(base)
+	defer r.Close()
+
+	// Stream a small predictor shoot-out: records arrive in spec order as
+	// the server finishes them.
+	specs := []repro.Spec{
+		{Kernel: "art", Predictor: "lvp", Counters: repro.FPC},
+		{Kernel: "art", Predictor: "stride", Counters: repro.FPC},
+		{Kernel: "art", Predictor: "vtage", Counters: repro.FPC},
+		{Kernel: "art", Predictor: "vtage+stride", Counters: repro.FPC},
 	}
-	fmt.Printf("job %s accepted (%d specs)\n", job.ID, job.Specs)
-	if _, err := c.Stream(ctx, job.ID, func(ev repro.ServiceEvent) error {
-		if ev.Type == "record" && ev.Record != nil {
-			fmt.Printf("  %-10s IPC %.3f\n", ev.Record.Kernel, ev.Record.IPC)
-		}
+	fmt.Println("\nart kernel, FPC counters:")
+	if err := r.Batch(ctx, specs, func(rec repro.Record) error {
+		fmt.Printf("  %-14s IPC %.3f  speedup %.3f\n", rec.Predictor, rec.IPC, rec.Speedup)
 		return nil
 	}); err != nil {
-		log.Fatalf("stream: %v", err)
+		log.Fatalf("batch: %v", err)
 	}
-	final, err := c.Job(ctx, job.ID)
-	if err != nil {
-		log.Fatalf("job: %v", err)
+
+	// Run Fig. 1 server-side and print the rendered artifact.
+	fmt.Println()
+	if err := r.Experiment(ctx, "fig1", repro.ExperimentOptions{}, os.Stdout); err != nil {
+		log.Fatalf("experiment: %v", err)
 	}
-	if final.State != "done" {
-		log.Fatalf("job finished %s: %s", final.State, final.Error)
-	}
-	fmt.Printf("\n%s\n", final.Artifact)
 
 	stats, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatalf("statsz: %v", err)
 	}
-	fmt.Printf("server stats: %d simulations run, %d memo hits, %d workers\n",
+	fmt.Printf("\nserver stats: %d simulations run, %d memo hits, %d workers\n",
 		stats.MemoMisses, stats.MemoHits, stats.Workers)
 }

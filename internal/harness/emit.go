@@ -89,6 +89,24 @@ func (se *Session) Record(r *Result) (Record, error) {
 	}, nil
 }
 
+// RecordCtx simulates one spec (memoized) plus the baseline its speedup
+// needs and flattens the result — the single-spec form of RecordsCtx, shared
+// by the facade's runners. Both runs are warm no-ops when a batch pass
+// already scheduled them.
+func (se *Session) RecordCtx(ctx context.Context, spec Spec) (Record, error) {
+	spec = spec.Canonical()
+	res, err := se.RunCtx(ctx, spec)
+	if err != nil {
+		return Record{}, err
+	}
+	if spec.Predictor != "none" {
+		if _, err := se.RunCtx(ctx, spec.Baseline()); err != nil {
+			return Record{}, err
+		}
+	}
+	return se.Record(res)
+}
+
 // Records simulates specs (plus the baselines their speedups need) across
 // the worker pool and flattens the results in spec order.
 func (se *Session) Records(specs []Spec, workers int) ([]Record, error) {

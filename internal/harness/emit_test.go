@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -155,6 +156,38 @@ func TestRecordFieldNamesStable(t *testing.T) {
 		if _, ok := m[key]; !ok {
 			t.Errorf("JSON output missing field %q present in CSV header", key)
 		}
+	}
+}
+
+// TestRecordCtx: the single-spec record path must agree with the batch
+// Records layer, cancel cleanly, and memoize — a repeat call starts no new
+// simulations.
+func TestRecordCtx(t *testing.T) {
+	se := NewSession(testWindows(1_000, 4_000))
+	spec := Spec{Kernel: "art", Predictor: "lvp", Counters: FPC}
+	ctx := context.Background()
+	rec, err := se.RecordCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := se.Records([]Spec{spec}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != recs[0] {
+		t.Errorf("RecordCtx differs from Records:\nsingle: %+v\nbatch:  %+v", rec, recs[0])
+	}
+	_, misses := se.MemoStats()
+	if _, err := se.RecordCtx(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := se.MemoStats(); after != misses {
+		t.Errorf("repeat RecordCtx started %d new simulations", after-misses)
+	}
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := se.RecordCtx(dead, Spec{Kernel: "gzip", Predictor: "vtage"}); !IsContextErr(err) {
+		t.Errorf("cancelled RecordCtx returned %v, want a context error", err)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
@@ -379,16 +378,3 @@ func Render(ctx context.Context, se *Session, e Experiment, format string, worke
 	}
 }
 
-// RunAllExperiments executes every experiment into w with headers,
-// batch-scheduling each experiment's pre-declared specs across workers
-// before rendering it. ctx cancels the run between and within experiments.
-func RunAllExperiments(ctx context.Context, se *Session, w io.Writer, workers int) error {
-	for _, e := range Experiments() {
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
-		if err := Render(ctx, se, e, "text", workers, w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w, strings.Repeat("-", 70))
-	}
-	return nil
-}

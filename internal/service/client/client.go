@@ -40,13 +40,14 @@ func NewWithHTTPClient(base string, hc *http.Client) *Client {
 }
 
 // APIError is a non-2xx response decoded from the server's error envelope.
-type APIError struct {
-	Status  int
-	Message string
-}
+// It is the service-level type (status, stable code, message): assert on it
+// with errors.As at any layer above the client, RemoteRunner included.
+type APIError = service.APIError
 
-func (e *APIError) Error() string {
-	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+// Close releases idle connections held by the underlying transport. The
+// client remains usable afterwards; Close only returns pooled resources.
+func (c *Client) Close() {
+	c.hc.CloseIdleConnections()
 }
 
 // do performs one JSON round-trip. in == nil sends no body; out == nil
@@ -82,15 +83,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// decodeError rebuilds the server's typed APIError from the error envelope;
+// non-JSON bodies (a proxy in the way, a crash page) degrade to a code-less
+// APIError carrying the raw text.
 func decodeError(resp *http.Response) error {
-	var env struct {
-		Error string `json:"error"`
-	}
+	var e APIError
 	buf, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-	if json.Unmarshal(buf, &env) != nil || env.Error == "" {
-		env.Error = strings.TrimSpace(string(buf))
+	if json.Unmarshal(buf, &e) != nil || e.Msg == "" {
+		e = APIError{Msg: strings.TrimSpace(string(buf))}
 	}
-	return &APIError{Status: resp.StatusCode, Message: env.Error}
+	e.Status = resp.StatusCode
+	return &e
 }
 
 // Simulate runs one spec synchronously (POST /v1/simulate) and returns its

@@ -214,11 +214,16 @@ var (
 	errQueueFull = errors.New("job queue full")
 )
 
-// apiError writes the uniform JSON error envelope.
-func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+// apiError writes the uniform JSON error envelope — an APIError body whose
+// code is derived from the HTTP status, so the typed client can rebuild the
+// identical error value on the other side.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(APIError{
+		Code: codeForStatus(status),
+		Msg:  fmt.Sprintf(format, args...),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

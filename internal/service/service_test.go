@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -228,10 +229,11 @@ func TestSimulateSync(t *testing.T) {
 		{Kernel: "art", Predictor: "lvp", Counters: "nope"},
 		{Kernel: "art", Predictor: "lvp", Recovery: "nope"},
 	} {
+		var apiErr *client.APIError
 		if _, err := c.Simulate(ctx, bad); err == nil {
 			t.Errorf("bad spec %+v accepted", bad)
-		} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 400 {
-			t.Errorf("bad spec %+v: got %v, want HTTP 400", bad, err)
+		} else if !errors.As(err, &apiErr) || apiErr.Status != 400 || apiErr.Code != CodeBadRequest {
+			t.Errorf("bad spec %+v: got %v, want HTTP 400 %s", bad, err, CodeBadRequest)
 		}
 	}
 }
@@ -284,13 +286,13 @@ func TestExperimentJob(t *testing.T) {
 func TestUnknownExperimentListsIndex(t *testing.T) {
 	_, c, _ := newTestServer(t, Options{})
 	_, err := c.SubmitExperiment(context.Background(), "fig99")
-	apiErr, ok := err.(*client.APIError)
-	if !ok || apiErr.Status != 404 {
-		t.Fatalf("got %v, want HTTP 404", err)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 || apiErr.Code != CodeNotFound {
+		t.Fatalf("got %v, want HTTP 404 %s", err, CodeNotFound)
 	}
 	for _, id := range []string{"fig4", "table1", "abl-width"} {
-		if !strings.Contains(apiErr.Message, id) {
-			t.Errorf("404 message does not list %q: %s", id, apiErr.Message)
+		if !strings.Contains(apiErr.Msg, id) {
+			t.Errorf("404 message does not list %q: %s", id, apiErr.Msg)
 		}
 	}
 }
@@ -306,10 +308,11 @@ func TestAdmissionLimits(t *testing.T) {
 		{Kernel: "art", Predictor: "none"}, {Kernel: "art", Predictor: "lvp"},
 		{Kernel: "parser", Predictor: "none"},
 	})
+	var apiErr *client.APIError
 	if _, err := c.SubmitBatch(ctx, big); err == nil {
 		t.Error("oversized batch accepted")
-	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 413 {
-		t.Errorf("oversized batch: got %v, want HTTP 413", err)
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 413 || apiErr.Code != CodeTooLarge {
+		t.Errorf("oversized batch: got %v, want HTTP 413 %s", err, CodeTooLarge)
 	}
 
 	st, err := c.SubmitBatch(ctx, big[:2])
@@ -318,8 +321,8 @@ func TestAdmissionLimits(t *testing.T) {
 	}
 	if _, err := c.SubmitBatch(ctx, big[2:4]); err == nil {
 		t.Error("second job accepted beyond MaxJobs=1")
-	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 429 {
-		t.Errorf("full queue: got %v, want HTTP 429", err)
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != CodeQueueFull {
+		t.Errorf("full queue: got %v, want HTTP 429 %s", err, CodeQueueFull)
 	}
 	if _, err := c.Cancel(ctx, st.ID); err != nil {
 		t.Fatal(err)
@@ -334,8 +337,8 @@ func TestAdmissionLimits(t *testing.T) {
 	}
 	if _, err := c.SubmitBatch(ctx, big[:1]); err == nil {
 		t.Error("draining server accepted a job")
-	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 503 {
-		t.Errorf("draining submit: got %v, want HTTP 503", err)
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 503 || apiErr.Code != CodeDraining {
+		t.Errorf("draining submit: got %v, want HTTP 503 %s", err, CodeDraining)
 	}
 	if _, err := c.Simulate(ctx, big[0]); err == nil {
 		t.Error("draining server accepted a synchronous simulate")
@@ -614,10 +617,11 @@ func TestExtendedSpecOverWire(t *testing.T) {
 		{Kernel: "art", Predictor: "vtage", MaxHist: 1},
 		{Kernel: "art", Predictor: "vtage", FPCVector: "1,2,3"},
 	} {
+		var apiErr *client.APIError
 		if _, err := c.Simulate(ctx, bad); err == nil {
 			t.Errorf("bad extended spec %+v accepted", bad)
-		} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != 400 {
-			t.Errorf("bad extended spec %+v: got %v, want HTTP 400", bad, err)
+		} else if !errors.As(err, &apiErr) || apiErr.Status != 400 || apiErr.Code != CodeBadRequest {
+			t.Errorf("bad extended spec %+v: got %v, want HTTP 400 %s", bad, err, CodeBadRequest)
 		}
 	}
 }

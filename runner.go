@@ -1,0 +1,94 @@
+package repro
+
+import (
+	"context"
+	"io"
+	"runtime"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// Spec identifies one simulation: kernel, predictor, counter scheme,
+// recovery mode, and the optional extended machine/predictor key (Width,
+// LoadsOnly, MaxHist, FPCVec). It is the harness's canonical memo key made
+// public, so the facade, the wire layer and the harness share one spec
+// vocabulary: Canonical() folds equivalent spellings onto one identity,
+// Validate() checks the constructible configuration space, and Baseline()
+// names the no-VP machine a speedup divides by. Zero values mean the paper's
+// Table 2 defaults.
+type Spec = harness.Spec
+
+// Record is the flattened, machine-readable result of one simulation —
+// stable JSON/CSV field names, speedup included. Every Runner method that
+// produces results produces Records.
+type Record = harness.Record
+
+// ExperimentInfo is one row of the experiment index: id plus the paper
+// artifact it regenerates.
+type ExperimentInfo = service.ExperimentInfo
+
+// Runner is the backend-neutral way to run simulations: the same interface
+// drives an in-process session (LocalRunner) or a vpserved daemon
+// (RemoteRunner), so CLIs, examples and tests retarget with one flag.
+// Implementations reuse one warm session per Runner — repeated and
+// overlapping work hits the memo instead of re-paying predictor and cache
+// warmup.
+type Runner interface {
+	// Simulate runs one spec (plus the baseline its speedup needs) and
+	// returns its record.
+	Simulate(ctx context.Context, spec Spec) (Record, error)
+
+	// Batch runs every spec and invokes fn exactly once per spec, in spec
+	// order, as records become deliverable — fn sees the prefix stream while
+	// later specs are still simulating. fn is never called concurrently. A
+	// spec failure or a non-nil fn error aborts the batch.
+	Batch(ctx context.Context, specs []Spec, fn func(Record) error) error
+
+	// Experiment regenerates one experiment by id into w. Format (text,
+	// json, csv) and worker count come from o; o.Warmup/o.Measure are
+	// per-call window overrides (zero: the runner's windows).
+	Experiment(ctx context.Context, id string, o ExperimentOptions, w io.Writer) error
+
+	// Experiments returns the experiment index the backend serves.
+	Experiments(ctx context.Context) ([]ExperimentInfo, error)
+
+	// Close releases the runner's resources. The error is always nil today;
+	// the signature leaves room for backends with real shutdown work.
+	Close() error
+}
+
+// Interface compliance is part of the facade contract.
+var (
+	_ Runner = (*LocalRunner)(nil)
+	_ Runner = (*RemoteRunner)(nil)
+)
+
+// RunnerOptions sizes a LocalRunner: per-simulation windows and the worker
+// pool. The zero value is the paper's interactive default (50k warmup /
+// 250k measured µops, GOMAXPROCS workers).
+type RunnerOptions struct {
+	Warmup  uint64 // µops before measurement per simulation (default 50_000)
+	Measure uint64 // measured µops per simulation (default 250_000)
+	Workers int    // parallel simulation workers (<=0: GOMAXPROCS)
+}
+
+// withDefaults resolves unset windows to the facade defaults. Workers stays
+// as-is: <=0 means GOMAXPROCS at the point of use, so a runner tracks
+// runtime changes.
+func (o RunnerOptions) withDefaults() RunnerOptions {
+	if o.Warmup == 0 {
+		o.Warmup = 50_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 250_000
+	}
+	return o
+}
+
+func (o RunnerOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,214 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// RemoteRunner runs simulations against a vpserved daemon through the typed
+// client: Simulate maps onto POST /v1/simulate, Batch onto a batch job
+// followed over the result stream (records reach the callback as they
+// arrive, reordered into spec order), and Experiment onto a server-side
+// experiment job. The daemon's process-lifetime session plays the role of
+// LocalRunner's shared memo, so a warm server answers repeat work at memo
+// speed for every client. Server failures surface as *service.APIError
+// (unwrapped — errors.As works directly on the returned error).
+type RemoteRunner struct {
+	c *client.Client
+}
+
+// NewRemoteRunner builds a runner against the service at baseURL
+// (e.g. "http://127.0.0.1:8437").
+func NewRemoteRunner(baseURL string) *RemoteRunner {
+	return &RemoteRunner{c: client.New(baseURL)}
+}
+
+// NewRemoteRunnerClient wraps an existing typed client (tests, custom
+// transports).
+func NewRemoteRunnerClient(c *Client) *RemoteRunner { return &RemoteRunner{c: c} }
+
+// Simulate runs one spec synchronously on the server. The spec is
+// canonicalized and validated locally first — Spec is the same type on both
+// sides of the wire, so the check cannot drift from the server's.
+func (r *RemoteRunner) Simulate(ctx context.Context, spec Spec) (Record, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r.c.Simulate(ctx, service.RequestFor(spec))
+}
+
+// Batch submits the specs as one job and follows its result stream,
+// delivering records to fn in spec order as they stream in.
+func (r *RemoteRunner) Batch(ctx context.Context, specs []Spec, fn func(Record) error) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	reqs := make([]service.SpecRequest, len(specs))
+	for i, sp := range specs {
+		sp = sp.Canonical()
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("spec %d: %w", i, err)
+		}
+		reqs[i] = service.RequestFor(sp)
+	}
+	st, err := r.c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	return r.follow(ctx, st.ID, len(specs), fn)
+}
+
+// follow streams job events, reordering "record" and per-spec "error"
+// events (which arrive in completion order, each carrying its index into
+// the requested spec order) into spec-order deliveries to fn. It enforces
+// the Batch contract: fn sees each record exactly once, in order, while the
+// job is still running; the first spec failure in spec order aborts. A job
+// abandoned early — fn errored, the context died, the stream broke — is
+// cancelled server-side so its tasks stop burning workers.
+func (r *RemoteRunner) follow(ctx context.Context, jobID string, n int, fn func(Record) error) error {
+	finished := false
+	defer func() {
+		if !finished {
+			// Best effort, on a fresh context: ours may already be dead, and
+			// cancelling a finished job is an idempotent no-op.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			r.c.Cancel(cctx, jobID)
+		}
+	}()
+
+	type entry struct {
+		rec    *harness.Record
+		errMsg string
+	}
+	entries := make([]entry, n)
+	have := make([]bool, n)
+	next := 0
+	deliver := func() error {
+		for next < n && have[next] {
+			e := entries[next]
+			if e.rec == nil {
+				return fmt.Errorf("spec %d: %s", next, e.errMsg)
+			}
+			if err := fn(*e.rec); err != nil {
+				return err
+			}
+			next++
+		}
+		return nil
+	}
+	final, err := r.c.Stream(ctx, jobID, func(ev service.Event) error {
+		switch ev.Type {
+		case "record", "error":
+			if ev.Index < 0 || ev.Index >= n || (ev.Type == "record" && ev.Record == nil) {
+				return fmt.Errorf("repro: job %s: malformed %s event (index %d of %d specs)",
+					jobID, ev.Type, ev.Index, n)
+			}
+			entries[ev.Index] = entry{rec: ev.Record, errMsg: ev.Error}
+			have[ev.Index] = true
+			return deliver()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("repro: job %s ended %s: %s", jobID, final.State, final.Error)
+	}
+	if next != n {
+		return fmt.Errorf("repro: job %s done after delivering %d of %d records", jobID, next, n)
+	}
+	finished = true
+	return nil
+}
+
+// Experiment runs one experiment as a server-side job. Text renders on the
+// server (the artifact is byte-identical to a local render — same code,
+// same warm memo reads); json/csv stream the job's records and emit them
+// locally through the same Write{JSON,CSV} path a LocalRunner uses.
+// o.Workers is ignored: concurrency belongs to the server's pool. Nonzero
+// o.Warmup/o.Measure are verified against the server's windows — a remote
+// runner cannot resize simulations per call, only refuse a mismatch loudly.
+func (r *RemoteRunner) Experiment(ctx context.Context, id string, o ExperimentOptions, w io.Writer) error {
+	switch o.Format {
+	case "", "text", "json", "csv":
+	default:
+		return fmt.Errorf("harness: unknown format %q (have text, json, csv)", o.Format)
+	}
+	if o.Warmup != 0 || o.Measure != 0 {
+		stats, err := r.c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		lim := stats.Limits
+		if (o.Warmup != 0 && o.Warmup != lim.Warmup) || (o.Measure != 0 && o.Measure != lim.Measure) {
+			return fmt.Errorf("repro: server simulates %d+%d µops, not the requested %d+%d: "+
+				"window sizing is per-daemon (vpserved -warmup/-measure), not per call",
+				lim.Warmup, lim.Measure, o.Warmup, o.Measure)
+		}
+	}
+	st, err := r.c.SubmitExperiment(ctx, id)
+	if err != nil {
+		return err
+	}
+
+	if o.Format == "json" || o.Format == "csv" {
+		if st.Specs == 0 {
+			// Match the local renderer's refusal for experiments that
+			// declare no spec set; the submitted job would render text.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			r.c.Cancel(cctx, st.ID)
+			return fmt.Errorf("%s: no structured results (text-only experiment)", id)
+		}
+		recs := make([]Record, 0, st.Specs)
+		if err := r.follow(ctx, st.ID, st.Specs, func(rec Record) error {
+			recs = append(recs, rec)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if o.Format == "json" {
+			return harness.WriteJSON(w, recs)
+		}
+		return harness.WriteCSV(w, recs)
+	}
+
+	finished := false
+	defer func() {
+		if !finished {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			r.c.Cancel(cctx, st.ID)
+		}
+	}()
+	final, err := r.c.Wait(ctx, st.ID)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("%s: job %s ended %s: %s", id, final.ID, final.State, final.Error)
+	}
+	finished = true
+	_, err = io.WriteString(w, final.Artifact)
+	return err
+}
+
+// Experiments fetches the server's experiment index.
+func (r *RemoteRunner) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	return r.c.Experiments(ctx)
+}
+
+// Close releases the client's pooled connections.
+func (r *RemoteRunner) Close() error {
+	r.c.Close()
+	return nil
+}

@@ -1,0 +1,307 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// runnerWindows are small enough for -short while still exercising real
+// simulations on both backends.
+const (
+	runnerWarmup  = 1_000
+	runnerMeasure = 4_000
+)
+
+// newBackends builds the two Runner implementations over identical window
+// sizing: a LocalRunner, and a RemoteRunner against an httptest-hosted
+// Server. Differential tests drive both and require identical output.
+func newBackends(t testing.TB) (*LocalRunner, *RemoteRunner) {
+	t.Helper()
+	local := NewLocalRunner(RunnerOptions{Warmup: runnerWarmup, Measure: runnerMeasure, Workers: 4})
+	srv, err := NewServer(ServerOptions{Warmup: runnerWarmup, Measure: runnerMeasure, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	remote := NewRemoteRunner(ts.URL)
+	t.Cleanup(func() {
+		local.Close()
+		remote.Close()
+		ts.Close()
+		srv.Close()
+	})
+	return local, remote
+}
+
+// differentialSpecs is a small batch covering the classic four-field specs,
+// a shared-baseline pair, and the extended canonical key (width, history,
+// loads-only, explicit vector).
+func differentialSpecs() []Spec {
+	return []Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "gzip", Predictor: "lvp"},
+		{Kernel: "gzip", Predictor: "stride", Counters: FPC, Recovery: SelectiveReissue},
+		{Kernel: "art", Predictor: "vtage", Counters: FPC, Width: 4, MaxHist: 256},
+		{Kernel: "art", Predictor: "lvp", LoadsOnly: true, FPCVec: "0,2,2,2,2,3,3"},
+	}
+}
+
+// TestRunnerBackendEquivalence is the PR's acceptance test: the same specs
+// and the same experiment, driven through LocalRunner and RemoteRunner,
+// must yield byte-identical records and rendered artifacts.
+func TestRunnerBackendEquivalence(t *testing.T) {
+	local, remote := newBackends(t)
+	ctx := context.Background()
+	specs := differentialSpecs()
+
+	collect := func(r Runner) ([]Record, error) {
+		var recs []Record
+		err := r.Batch(ctx, specs, func(rec Record) error {
+			recs = append(recs, rec)
+			return nil
+		})
+		return recs, err
+	}
+	localRecs, err := collect(local)
+	if err != nil {
+		t.Fatalf("local batch: %v", err)
+	}
+	remoteRecs, err := collect(remote)
+	if err != nil {
+		t.Fatalf("remote batch: %v", err)
+	}
+	if len(localRecs) != len(specs) || len(remoteRecs) != len(specs) {
+		t.Fatalf("got %d local / %d remote records, want %d each", len(localRecs), len(remoteRecs), len(specs))
+	}
+	for i := range specs {
+		if localRecs[i].Kernel != specs[i].Kernel || localRecs[i].Predictor != specs[i].Predictor {
+			t.Errorf("batch delivery out of spec order at %d: %+v", i, localRecs[i])
+		}
+	}
+	localJSON, _ := json.Marshal(localRecs)
+	remoteJSON, _ := json.Marshal(remoteRecs)
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Errorf("backends disagree on batch records:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+
+	// Single-spec dispatch must agree with itself across backends too.
+	lr, err := local.Simulate(ctx, specs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := remote.Simulate(ctx, specs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr != rr {
+		t.Errorf("Simulate disagrees across backends:\nlocal:  %+v\nremote: %+v", lr, rr)
+	}
+
+	// Experiment rendering: text (server-side render vs local render) and
+	// csv (streamed records vs local records) are byte-identical.
+	for _, format := range []string{"text", "csv"} {
+		var lb, rb bytes.Buffer
+		if err := local.Experiment(ctx, "fig1", ExperimentOptions{Format: format}, &lb); err != nil {
+			t.Fatalf("local fig1 %s: %v", format, err)
+		}
+		if err := remote.Experiment(ctx, "fig1", ExperimentOptions{Format: format}, &rb); err != nil {
+			t.Fatalf("remote fig1 %s: %v", format, err)
+		}
+		if lb.String() != rb.String() {
+			t.Errorf("fig1 %s output differs across backends:\n--- local\n%s--- remote\n%s",
+				format, lb.String(), rb.String())
+		}
+	}
+}
+
+// TestRunnerExperimentsIndex: both backends serve the same experiment
+// index, and text-only experiments refuse structured formats identically.
+func TestRunnerExperimentsIndex(t *testing.T) {
+	local, remote := newBackends(t)
+	ctx := context.Background()
+	li, err := local.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := remote.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(li) != fmt.Sprint(ri) {
+		t.Errorf("experiment indexes differ:\nlocal:  %v\nremote: %v", li, ri)
+	}
+	if len(li) == 0 || li[0].ID != "table1" {
+		t.Errorf("unexpected index head: %v", li)
+	}
+
+	for _, r := range []Runner{local, remote} {
+		err := r.Experiment(ctx, "table1", ExperimentOptions{Format: "json"}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "no structured results") {
+			t.Errorf("%T: json for text-only experiment: %v", r, err)
+		}
+	}
+}
+
+// TestRunnerBatchCallbackAbort: a non-nil fn error stops the batch on both
+// backends without delivering further records.
+func TestRunnerBatchCallbackAbort(t *testing.T) {
+	local, remote := newBackends(t)
+	ctx := context.Background()
+	sentinel := errors.New("stop after two")
+	for _, tc := range []struct {
+		name string
+		r    Runner
+	}{{"local", local}, {"remote", remote}} {
+		calls := 0
+		err := tc.r.Batch(ctx, differentialSpecs(), func(Record) error {
+			calls++
+			if calls == 2 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s: Batch returned %v, want the callback error", tc.name, err)
+		}
+		if calls != 2 {
+			t.Errorf("%s: callback ran %d times after aborting at 2", tc.name, calls)
+		}
+	}
+}
+
+// TestRunnerValidatesSpecs: both backends reject invalid specs before (or
+// at) the wire, with the shared harness validation error.
+func TestRunnerValidatesSpecs(t *testing.T) {
+	local, remote := newBackends(t)
+	ctx := context.Background()
+	bad := Spec{Kernel: "art", Predictor: "lvp", MaxHist: 256} // max_hist is vtage-only
+	for _, tc := range []struct {
+		name string
+		r    Runner
+	}{{"local", local}, {"remote", remote}} {
+		if _, err := tc.r.Simulate(ctx, bad); err == nil || !strings.Contains(err.Error(), "max_hist") {
+			t.Errorf("%s: bad spec error %v", tc.name, err)
+		}
+		err := tc.r.Batch(ctx, []Spec{bad}, func(Record) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "spec 0") {
+			t.Errorf("%s: bad batch error %v", tc.name, err)
+		}
+	}
+}
+
+// TestRemoteRunnerTypedErrors: server-side failures surface as unwrapped
+// *APIError values — errors.As works directly on what the runner returns.
+func TestRemoteRunnerTypedErrors(t *testing.T) {
+	_, remote := newBackends(t)
+	ctx := context.Background()
+	err := remote.Experiment(ctx, "fig99", ExperimentOptions{}, &bytes.Buffer{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("unknown experiment error %v is not an *APIError", err)
+	}
+	if apiErr.Status != 404 || apiErr.Code != APICodeNotFound {
+		t.Errorf("got status %d code %q, want 404 %s", apiErr.Status, apiErr.Code, APICodeNotFound)
+	}
+	if !strings.Contains(apiErr.Msg, "fig4") {
+		t.Errorf("404 message does not carry the index: %s", apiErr.Msg)
+	}
+
+	// Window-mismatch refusal is loud and names both sizings.
+	err = remote.Experiment(ctx, "fig1", ExperimentOptions{Warmup: 77, Measure: 88}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "per-daemon") {
+		t.Errorf("window mismatch error: %v", err)
+	}
+}
+
+// TestRunnerExperimentWindowOverride: a LocalRunner honours per-call window
+// overrides on a throwaway session — the output matches a runner built with
+// those windows natively.
+func TestRunnerExperimentWindowOverride(t *testing.T) {
+	big := NewLocalRunner(RunnerOptions{Warmup: 500, Measure: 2_000})
+	var native bytes.Buffer
+	if err := big.Experiment(context.Background(), "fig1", ExperimentOptions{}, &native); err != nil {
+		t.Fatal(err)
+	}
+	other := NewLocalRunner(RunnerOptions{Warmup: runnerWarmup, Measure: runnerMeasure})
+	var overridden bytes.Buffer
+	opts := ExperimentOptions{Warmup: 500, Measure: 2_000}
+	if err := other.Experiment(context.Background(), "fig1", opts, &overridden); err != nil {
+		t.Fatal(err)
+	}
+	if native.String() != overridden.String() {
+		t.Errorf("window override render differs from native windows:\n--- native\n%s--- override\n%s",
+			native.String(), overridden.String())
+	}
+	if _, misses := other.MemoStats(); misses != 0 {
+		t.Errorf("window-overridden render leaked %d simulations into the runner's session", misses)
+	}
+}
+
+// TestDefaultRunnerPoolBounded: the process-default runner pool behind the
+// deprecated wrappers evicts oldest-first beyond its bound, so legacy
+// window sweeps cannot retain traces without limit.
+func TestDefaultRunnerPoolBounded(t *testing.T) {
+	for i := 0; i < maxDefaultRunners+3; i++ {
+		defaultLocalRunner(uint64(31+i), uint64(91+i)) // windows nobody else uses
+	}
+	defaultMu.Lock()
+	n, ordered := len(defaultRunners), len(defaultOrder)
+	defaultMu.Unlock()
+	if n != maxDefaultRunners || ordered != n {
+		t.Errorf("pool holds %d runners (%d ordered), want %d", n, ordered, maxDefaultRunners)
+	}
+	// A repeat request for a live sizing is still the same runner.
+	a := defaultLocalRunner(uint64(31+maxDefaultRunners+2), uint64(91+maxDefaultRunners+2))
+	b := defaultLocalRunner(uint64(31+maxDefaultRunners+2), uint64(91+maxDefaultRunners+2))
+	if a != b {
+		t.Error("repeat lookup of a retained sizing returned a different runner")
+	}
+}
+
+// TestDeprecatedSimulateSharesDefaultRunner pins the facade-warmup fix: the
+// deprecated one-shot Simulate is backed by a process-default LocalRunner,
+// so a second identical call is a memo hit, not a cold re-run.
+func TestDeprecatedSimulateSharesDefaultRunner(t *testing.T) {
+	// A window sizing no other test uses, so this test owns its default
+	// runner and the counters below are exact.
+	o := Options{Kernel: "mcf", Predictor: "lvp", Counters: FPC, Warmup: 730, Measure: 2_610}
+	first, err := Simulate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := defaultLocalRunner(o.Warmup, o.Measure)
+	_, missesAfterFirst := r.MemoStats()
+	if missesAfterFirst != 2 { // the run and its baseline
+		t.Fatalf("first Simulate started %d simulations, want 2", missesAfterFirst)
+	}
+	second, err := Simulate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.MemoStats()
+	if misses != missesAfterFirst {
+		t.Errorf("second identical Simulate started %d new simulations; the default runner is not shared",
+			misses-missesAfterFirst)
+	}
+	if hits == 0 {
+		t.Error("second identical Simulate recorded no memo hits")
+	}
+	if first != second {
+		t.Errorf("memoized Simulate changed its summary:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+
+	// The deprecated experiment wrapper shares the same default-runner pool.
+	var buf bytes.Buffer
+	if err := RunExperiment("table2", o.Warmup, o.Measure, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "8") {
+		t.Errorf("table2 render looks wrong:\n%s", buf.String())
+	}
+}
