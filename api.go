@@ -114,6 +114,7 @@ type Options struct {
 	Warmup    uint64   // µops before measurement (default 50_000)
 	Measure   uint64   // measured µops (default 250_000)
 	Workers   int      // parallel simulation workers (<=0: GOMAXPROCS)
+	StoreDir  string   // persistent record store directory ("": memory-only)
 
 	Width     int    // machine width override (0: the paper's 8-wide)
 	LoadsOnly bool   // restrict value prediction to load µops
@@ -147,43 +148,60 @@ type Summary struct {
 }
 
 // defaultRunners holds the process-default LocalRunners backing the
-// deprecated wrappers, one per distinct (warmup, measure) sizing, so legacy
-// call sites share warm sessions. Each entry's memory is its session's
-// memoized traces/results, so the pool is bounded: beyond
+// deprecated wrappers, one per distinct (warmup, measure, store directory)
+// sizing, so legacy call sites share warm sessions. Each entry's memory is
+// its session's memoized traces/results, so the pool is bounded: beyond
 // maxDefaultRunners distinct sizings the oldest runner is dropped (its
 // next use simply pays a cold session again — the pre-Runner behaviour on
 // every call).
 const maxDefaultRunners = 8
 
+// runnerKey identifies one process-default runner: its windows plus the
+// store directory it persists to ("" when memory-only). Windows are part of
+// the simulation identity, and mixing store-backed and memory-only callers
+// on one session would silently persist (or fail to persist) the other's
+// results.
+type runnerKey struct {
+	warmup, measure uint64
+	storeDir        string
+}
+
 var (
 	defaultMu      sync.Mutex
-	defaultRunners = map[[2]uint64]*LocalRunner{}
-	defaultOrder   [][2]uint64 // insertion order, for eviction
+	defaultRunners = map[runnerKey]*LocalRunner{}
+	defaultOrder   []runnerKey // insertion order, for eviction
 )
 
-// defaultLocalRunner returns the shared runner for the given windows
-// (zeroes mean the facade defaults), creating it on first use.
-func defaultLocalRunner(warmup, measure uint64) *LocalRunner {
-	o := RunnerOptions{Warmup: warmup, Measure: measure}.withDefaults()
-	key := [2]uint64{o.Warmup, o.Measure}
+// defaultLocalRunner returns the shared runner for the given windows and
+// store directory (zeroes/empty mean the facade defaults), creating it on
+// first use. The error is always nil when storeDir is empty.
+func defaultLocalRunner(warmup, measure uint64, storeDir string) (*LocalRunner, error) {
+	o := RunnerOptions{Warmup: warmup, Measure: measure, StoreDir: storeDir}.withDefaults()
+	key := runnerKey{o.Warmup, o.Measure, o.StoreDir}
 	defaultMu.Lock()
 	defer defaultMu.Unlock()
 	if r, ok := defaultRunners[key]; ok {
-		return r
+		return r, nil
+	}
+	r, err := OpenLocalRunner(o)
+	if err != nil {
+		return nil, err
 	}
 	if len(defaultOrder) >= maxDefaultRunners {
 		delete(defaultRunners, defaultOrder[0])
 		defaultOrder = defaultOrder[1:]
 	}
-	r := NewLocalRunner(o)
 	defaultRunners[key] = r
 	defaultOrder = append(defaultOrder, key)
-	return r
+	return r, nil
 }
 
 // DefaultRunner returns the process-default LocalRunner with the facade's
 // default windows — the quickest way to a warm, shareable backend.
-func DefaultRunner() *LocalRunner { return defaultLocalRunner(0, 0) }
+func DefaultRunner() *LocalRunner {
+	r, _ := defaultLocalRunner(0, 0, "") // no store: cannot fail
+	return r
+}
 
 // Simulate runs one kernel × predictor configuration and returns its
 // summary. The baseline (no-VP) run used for the speedup is included in the
@@ -194,7 +212,10 @@ func DefaultRunner() *LocalRunner { return defaultLocalRunner(0, 0) }
 // works against remote backends too. Simulate remains for callers that need
 // the full pipeline.Stats counters.
 func Simulate(o Options) (Summary, error) {
-	r := defaultLocalRunner(o.Warmup, o.Measure)
+	r, err := defaultLocalRunner(o.Warmup, o.Measure, o.StoreDir)
+	if err != nil {
+		return Summary{}, err
+	}
 	spec := o.spec().Canonical()
 	if err := spec.Validate(); err != nil {
 		return Summary{}, err
@@ -245,7 +266,7 @@ func RunExperimentOpts(id string, o ExperimentOptions, w io.Writer) error {
 //
 // Deprecated: use Runner.Experiment.
 func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions, w io.Writer) error {
-	r := defaultLocalRunner(o.Warmup, o.Measure)
+	r, _ := defaultLocalRunner(o.Warmup, o.Measure, "") // no store: cannot fail
 	// The runner already carries the windows; pass only the per-call knobs.
 	return r.Experiment(ctx, id, ExperimentOptions{Workers: o.Workers, Format: o.Format}, w)
 }

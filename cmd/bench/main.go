@@ -33,6 +33,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/service"
 	"repro/internal/service/client"
+	"repro/internal/store"
 )
 
 // SteadyResult is the per-predictor steady-state measurement.
@@ -82,6 +83,22 @@ type RunnerResult struct {
 	OverheadRatio     float64 `json:"overhead_ratio"`
 }
 
+// WarmStartResult measures the persistent store's cross-process leverage:
+// the deduplicated fig4 batch runs twice through store-backed sessions over
+// one store directory — a cold pass that simulates and persists, then a
+// fresh session (a new process, morally) that must be served entirely from
+// disk. The speedup is the headline warm-start win; zero warm misses is the
+// correctness criterion.
+type WarmStartResult struct {
+	Specs         int     `json:"specs"`
+	Workers       int     `json:"workers"`
+	ColdSeconds   float64 `json:"cold_wall_s"`
+	WarmSeconds   float64 `json:"warm_wall_s"`
+	WarmSpeedup   float64 `json:"warm_speedup"`
+	WarmStoreHits uint64  `json:"warm_store_hits"`
+	WarmMisses    uint64  `json:"warm_misses"`
+}
+
 // ServerResult measures the service layer (internal/service) end to end:
 // several concurrent clients submit the same fig4 spec batch over HTTP to
 // an in-process server, so the number folds in scheduling, streaming, and —
@@ -104,6 +121,7 @@ type Record struct {
 	Note        string             `json:"note,omitempty"`
 	Steady      []SteadyResult     `json:"steady,omitempty"`
 	Fig4        *Fig4Result        `json:"fig4,omitempty"`
+	WarmStart   *WarmStartResult   `json:"warm_start,omitempty"`
 	Ablation    *AblationResult    `json:"ablation,omitempty"`
 	Server      *ServerResult      `json:"server,omitempty"`
 	Runner      *RunnerResult      `json:"runner,omitempty"`
@@ -155,6 +173,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs at 1 worker (%.0f uops/s), %.2fs at %d workers (%.2fx)\n",
 		f4.Specs, f4.WallSeconds1W, f4.UopsPerSec1W, f4.WallSecondsPar, f4.ParallelWorkers, f4.ParallelSpeedup)
 	rec.Fig4 = &f4
+
+	fmt.Fprintf(os.Stderr, "bench: warm start (fig4 batch, cold store-backed pass vs store-served pass)\n")
+	ws, err := measureWarmStart(*warmup, *measure, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs cold, %.3fs warm (%.0fx, %d store hits, %d misses)\n",
+		ws.Specs, ws.ColdSeconds, ws.WarmSeconds, ws.WarmSpeedup, ws.WarmStoreHits, ws.WarmMisses)
+	rec.WarmStart = &ws
 
 	fmt.Fprintf(os.Stderr, "bench: ablation batch (abl-fpc + abl-hist + abl-loads + abl-width, memoized path)\n")
 	ab, err := measureAblation(*warmup, *measure, *workers)
@@ -296,6 +323,52 @@ func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
 		WallSecondsPar:  par,
 		ParallelWorkers: workers,
 		ParallelSpeedup: seq / par,
+	}, nil
+}
+
+// measureWarmStart runs the deduplicated fig4 batch through two store-backed
+// sessions sharing one temporary store directory. The first (cold) pass
+// simulates everything and persists write-behind; the second uses a fresh
+// session — cold memo, same disk — so every lookup exercises the read-through
+// path. A warm miss means an entry failed to round-trip.
+func measureWarmStart(warmup, measure uint64, workers int) (WarmStartResult, error) {
+	dir, err := os.MkdirTemp("", "bench-vpstore-")
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	specs := harness.DedupSpecs(harness.Fig4Specs())
+
+	pass := func() (float64, harness.MemoStats, error) {
+		st, err := store.Open(dir, harness.StoreVersion)
+		if err != nil {
+			return 0, harness.MemoStats{}, err
+		}
+		se := harness.NewSession(warmup, measure)
+		se.UseStore(st)
+		start := time.Now()
+		if _, err := se.RunAll(specs, workers); err != nil {
+			return 0, harness.MemoStats{}, err
+		}
+		return time.Since(start).Seconds(), se.MemoStats(), nil
+	}
+
+	cold, _, err := pass()
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+	warm, m, err := pass()
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+	return WarmStartResult{
+		Specs:         len(specs),
+		Workers:       workers,
+		ColdSeconds:   cold,
+		WarmSeconds:   warm,
+		WarmSpeedup:   cold / warm,
+		WarmStoreHits: m.StoreHits,
+		WarmMisses:    m.Misses,
 	}, nil
 }
 
@@ -478,6 +551,9 @@ func speedups(cur, prev *Record) map[string]float64 {
 	}
 	if cur.Ablation != nil && prev.Ablation != nil && prev.Ablation.SpecsPerSec > 0 {
 		out["ablation_specs_per_sec"] = cur.Ablation.SpecsPerSec / prev.Ablation.SpecsPerSec
+	}
+	if cur.WarmStart != nil && prev.WarmStart != nil && prev.WarmStart.WarmSpeedup > 0 {
+		out["warm_start_speedup"] = cur.WarmStart.WarmSpeedup / prev.WarmStart.WarmSpeedup
 	}
 	if cur.Runner != nil && prev.Runner != nil && cur.Runner.RemoteUsPerCall > 0 {
 		// >1 means remote dispatch got cheaper since the prior record.

@@ -14,6 +14,7 @@
 //	experiments -run abl-fpc -format csv     # ablations are structured too
 //	experiments -run fig4 -server http://127.0.0.1:8437   # remote, memo-warm
 //	experiments -list -server http://127.0.0.1:8437       # the server's index
+//	experiments -run fig4 -store-dir .vpstore             # warm-start next run
 //
 // Ctrl-C (SIGINT) or SIGTERM cancels cleanly: in-flight simulations stop at
 // their next cancellation checkpoint (local and remote — a remote job is
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format for -run: text, json, or csv")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
+	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -80,11 +82,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	var runner repro.Runner
 	if *server != "" {
+		if *storeDir != "" {
+			fmt.Fprintln(stderr, "experiments: -store-dir applies to in-process runs; a -server daemon's store is set by vpserved -store-dir")
+			return 2
+		}
 		runner = repro.NewRemoteRunner(*server)
 	} else {
-		runner = repro.NewLocalRunner(repro.RunnerOptions{
-			Warmup: *warmup, Measure: *measure, Workers: *workers,
+		local, err := repro.OpenLocalRunner(repro.RunnerOptions{
+			Warmup: *warmup, Measure: *measure, Workers: *workers, StoreDir: *storeDir,
 		})
+		if err != nil {
+			return fail(err)
+		}
+		runner = local
 	}
 	defer runner.Close()
 

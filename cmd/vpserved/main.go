@@ -8,6 +8,7 @@
 //	vpserved                                  # listen on 127.0.0.1:8437
 //	vpserved -addr 127.0.0.1:0 -addr-file a   # random port, written to a
 //	vpserved -workers 8 -max-jobs 128         # sizing
+//	vpserved -store-dir /var/cache/vpsim      # results survive restarts
 //
 // Try it:
 //
@@ -47,6 +48,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "max unfinished jobs admitted (0: server default)")
 	maxBatch := flag.Int("max-batch", 0, "max specs per batch or experiment (0: server default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "synchronous /v1/simulate budget (0: server default)")
+	storeDir := flag.String("store-dir", "", "persistent record store directory shared across restarts and processes (empty: memory-only)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "graceful shutdown budget")
 	flag.Parse()
 
@@ -60,6 +62,7 @@ func main() {
 		MaxJobs:        *maxJobs,
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *reqTimeout,
+		StoreDir:       *storeDir,
 	}.WithDefaults()
 	svc, err := repro.NewServer(opts)
 	if err != nil {
@@ -75,6 +78,9 @@ func main() {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if opts.StoreDir != "" {
+		log.Printf("persistent store: %s", opts.StoreDir)
 	}
 	log.Printf("listening on %s (workers=%d warmup=%d measure=%d)",
 		bound, opts.Workers, opts.Warmup, opts.Measure)

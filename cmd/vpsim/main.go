@@ -9,6 +9,7 @@
 //	vpsim -kernel art -pred vtage+stride -counters fpc -recovery squash
 //	vpsim -kernel art -pred vtage -width 4 -max-hist 256          # extended spec
 //	vpsim -kernel art -pred vtage -server http://127.0.0.1:8437   # remote dispatch
+//	vpsim -kernel art -pred vtage -store-dir .vpstore             # persist the result
 //
 // Output is a flattened record; -format json emits it with the stable
 // field names shared by -format csv|json everywhere else (DESIGN.md §5.3).
@@ -61,6 +62,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fpcVector := fs.String("fpc-vector", "", `explicit FPC vector, e.g. "0,2,2,2,2,3,3"`)
 	format := fs.String("format", "text", "output format: text or json")
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
+	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
 	list := fs.Bool("list", false, "list kernels and exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile after the run to this file")
@@ -89,6 +91,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		})
 		if bad {
 			fmt.Fprintln(stderr, "vpsim: -warmup/-measure size local runs; a -server daemon's windows are set by vpserved -warmup/-measure")
+			return 2
+		}
+		if *storeDir != "" {
+			fmt.Fprintln(stderr, "vpsim: -store-dir applies to in-process runs; a -server daemon's store is set by vpserved -store-dir")
 			return 2
 		}
 	}
@@ -128,6 +134,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "vpsim: unknown recovery %q (have squash, reissue)\n", *recovery)
 		return 2
 	}
+	// Validate before any backend is built: an unknown kernel, an out-of-range
+	// override, or an unparseable -fpc-vector is a usage error that must fail
+	// fast, not after paying session warmup.
+	if err := spec.Canonical().Validate(); err != nil {
+		fmt.Fprintln(stderr, "vpsim:", err)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -162,9 +175,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// Remote windows are the daemon's; the flags size local runs only.
 		runner = repro.NewRemoteRunner(*server)
 	} else {
-		runner = repro.NewLocalRunner(repro.RunnerOptions{
-			Warmup: *warmup, Measure: *measure, Workers: *workers,
+		local, err := repro.OpenLocalRunner(repro.RunnerOptions{
+			Warmup: *warmup, Measure: *measure, Workers: *workers, StoreDir: *storeDir,
 		})
+		if err != nil {
+			return fail(err)
+		}
+		runner = local
 	}
 	defer runner.Close()
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -101,26 +102,55 @@ func TestServerFlagMatchesInProcess(t *testing.T) {
 	}
 }
 
-// TestBadInvocations covers flag validation and runtime failures.
+// TestBadInvocations covers flag validation and runtime failures. An
+// invalid spec is a usage error (exit 2) caught before any session warmup
+// is paid, not a runtime failure discovered mid-run.
 func TestBadInvocations(t *testing.T) {
 	for _, args := range [][]string{
 		{"-format", "bogus"},
 		{"-counters", "bogus"},
 		{"-recovery", "bogus"},
 		{"-bogusflag"},
+		{"-kernel", "nope"},
+		{"-pred", "lvp", "-max-hist", "256"}, // vtage-only knob
+		{"-pred", "vtage", "-fpc-vector", "0,2,nope"},
+		{"-pred", "vtage", "-fpc-vector", "1,2,3"}, // wrong arity
+		{"-width", "99"},
+		{"-server", "http://127.0.0.1:1", "-store-dir", "x"}, // store is local-only
 	} {
 		if _, _, code := runArgs(t, args...); code != 2 {
 			t.Errorf("run(%v) exited %d, want 2", args, code)
 		}
 	}
 	for _, args := range [][]string{
-		append([]string{"-kernel", "nope"}, shortWindows...),
-		append([]string{"-pred", "lvp", "-max-hist", "256"}, shortWindows...), // vtage-only knob
 		{"-server", "http://127.0.0.1:1"},
 	} {
 		if _, errb, code := runArgs(t, args...); code != 1 || !strings.Contains(errb, "vpsim:") {
 			t.Errorf("run(%v) exited %d (stderr %q), want 1", args, code, errb)
 		}
+	}
+}
+
+// TestStoreDirPersistsAndReloads: the first run over an empty -store-dir
+// persists its records; a second process-equivalent run over the same dir
+// prints the identical report.
+func TestStoreDirPersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	args := append([]string{"-kernel", "gzip", "-pred", "lvp", "-format", "json", "-store-dir", dir}, shortWindows...)
+	first, errb, code := runArgs(t, args...)
+	if code != 0 {
+		t.Fatalf("first run exited %d: %s", code, errb)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("store dir holds %d entries after the run (err %v), want >0", len(entries), err)
+	}
+	second, errb, code := runArgs(t, args...)
+	if code != 0 {
+		t.Fatalf("second run exited %d: %s", code, errb)
+	}
+	if first != second {
+		t.Errorf("store-backed rerun changed the record:\n--- first\n%s--- second\n%s", first, second)
 	}
 }
 

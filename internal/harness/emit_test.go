@@ -177,11 +177,11 @@ func TestRecordCtx(t *testing.T) {
 	if rec != recs[0] {
 		t.Errorf("RecordCtx differs from Records:\nsingle: %+v\nbatch:  %+v", rec, recs[0])
 	}
-	_, misses := se.MemoStats()
+	misses := se.MemoStats().Misses
 	if _, err := se.RecordCtx(ctx, spec); err != nil {
 		t.Fatal(err)
 	}
-	if _, after := se.MemoStats(); after != misses {
+	if after := se.MemoStats().Misses; after != misses {
 		t.Errorf("repeat RecordCtx started %d new simulations", after-misses)
 	}
 	dead, cancel := context.WithCancel(ctx)

@@ -377,4 +377,3 @@ func Render(ctx context.Context, se *Session, e Experiment, format string, worke
 		return fmt.Errorf("harness: unknown format %q (have text, json, csv)", format)
 	}
 }
-

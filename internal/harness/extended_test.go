@@ -173,14 +173,14 @@ func TestExtendedSpecsSimulate(t *testing.T) {
 
 	// Equivalent spellings share one memo entry: the default-width spec and
 	// the explicit-8-wide spec must not double-simulate.
-	_, missesBefore := se.MemoStats()
+	missesBefore := se.MemoStats().Misses
 	if _, err := se.RunCtx(ctx, Spec{Kernel: "art", Predictor: "none", Width: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := se.RunCtx(ctx, Spec{Kernel: "gzip", Predictor: "vtage", Counters: FPC, MaxHist: 64}); err != nil {
 		t.Fatal(err)
 	}
-	if _, missesAfter := se.MemoStats(); missesAfter != missesBefore+1 {
+	if missesAfter := se.MemoStats().Misses; missesAfter != missesBefore+1 {
 		t.Errorf("equivalent spellings re-simulated: misses %d -> %d (want +1: only the MaxHist=64 FPC spec is new)",
 			missesBefore, missesAfter)
 	}
@@ -201,11 +201,11 @@ func TestPrepareCoversRender(t *testing.T) {
 		if err := se.Prepare(ctx, e, 4); err != nil {
 			t.Fatalf("%s: prepare: %v", e.ID, err)
 		}
-		_, missesBefore := se.MemoStats()
+		missesBefore := se.MemoStats().Misses
 		if err := e.Run(ctx, se, io.Discard); err != nil {
 			t.Fatalf("%s: render: %v", e.ID, err)
 		}
-		if _, missesAfter := se.MemoStats(); missesAfter != missesBefore {
+		if missesAfter := se.MemoStats().Misses; missesAfter != missesBefore {
 			t.Errorf("%s: render started %d simulations beyond its declared spec set",
 				e.ID, missesAfter-missesBefore)
 		}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // PredictorNames lists the constructible predictor configurations. "ps" and
@@ -353,11 +354,15 @@ type Session struct {
 	Warmup  uint64
 	Measure uint64
 
-	mu     sync.Mutex // guards the maps and counters; never held while simulating
-	traces map[string]*traceCall
-	memo   map[Spec]*runCall
-	hits   uint64 // Run lookups that joined an existing (possibly in-flight) entry
-	misses uint64 // Run lookups that started a simulation
+	mu        sync.Mutex // guards the maps and counters; never held while simulating
+	traces    map[string]*traceCall
+	memo      map[Spec]*runCall
+	hits      uint64 // Run lookups that joined an existing (possibly in-flight) entry
+	misses    uint64 // Run lookups that started a simulation
+	storeHits uint64 // Run lookups served by loading a persisted record
+
+	store *store.Store      // optional persistent tier under the memo (UseStore)
+	fps   map[string]string // kernel → fingerprint, cached for store keying
 }
 
 // NewSession builds a session with the given measurement window, standing in
@@ -458,15 +463,32 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 			continue
 		}
 		if counted {
-			// A retry after an abandoned owner starts a simulation after
-			// all: recount the earlier hit as a miss so hits+misses still
-			// equals the number of RunCtx calls.
+			// A retry after an abandoned owner becomes the new owner after
+			// all: uncount the earlier hit; the owner path below recounts
+			// this lookup exactly once (as a store hit or a miss), so
+			// hits+storeHits+misses still equals the number of RunCtx calls.
 			se.hits--
+			counted = false
 		}
-		se.misses++
-		counted = true
 		c = &runCall{done: make(chan struct{})}
 		se.memo[spec] = c
+		st := se.store
+		se.mu.Unlock()
+
+		// Read-through: a populated store turns this would-be miss into a
+		// disk load. Waiters parked on c still count as plain memo hits.
+		if st != nil {
+			if res, ok := se.storeLoad(st, spec); ok {
+				se.mu.Lock()
+				se.storeHits++
+				se.mu.Unlock()
+				c.res = res
+				close(c.done)
+				return c.res, nil
+			}
+		}
+		se.mu.Lock()
+		se.misses++
 		se.mu.Unlock()
 
 		c.res, c.err = se.simulate(ctx, spec)
@@ -474,6 +496,10 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 			se.mu.Lock()
 			delete(se.memo, spec)
 			se.mu.Unlock()
+		} else if c.err == nil && st != nil {
+			// Write-behind: persist only clean successes — cancellations and
+			// errors are never stored, mirroring the memo invariant.
+			se.storeSave(st, spec, c.res)
 		}
 		close(c.done)
 		return c.res, c.err
@@ -548,13 +574,38 @@ func (se *Session) runCancellable(ctx context.Context, sim *pipeline.Sim, traceL
 	return st, nil
 }
 
-// MemoStats reports memo effectiveness: misses is the number of simulations
-// started, hits the number of lookups served from (or joined to) an existing
-// entry. hits+misses equals the total number of Run calls.
-func (se *Session) MemoStats() (hits, misses uint64) {
+// MemoStats is a snapshot of the session's caching effectiveness. Every
+// RunCtx lookup lands in exactly one bucket, so Hits+StoreHits+Misses equals
+// the total number of Run calls (plus any scheduler-level coalesced waiters
+// recorded via CountCoalescedHits).
+type MemoStats struct {
+	Hits      uint64 `json:"hits"`       // served from (or joined to) an in-process memo entry
+	StoreHits uint64 `json:"store_hits"` // served by loading a persisted record instead of simulating
+	Misses    uint64 `json:"misses"`     // simulations actually started
+
+	Store store.Stats `json:"store"` // attached store's own counters (zero when no store)
+}
+
+// MemoStats reports memo and store effectiveness.
+func (se *Session) MemoStats() MemoStats {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.hits, se.misses
+	m := MemoStats{Hits: se.hits, StoreHits: se.storeHits, Misses: se.misses}
+	if se.store != nil {
+		m.Store = se.store.Stats()
+	}
+	return m
+}
+
+// CountCoalescedHits records n lookups that were served above the session —
+// a scheduler that parks duplicate in-flight specs and fans one result out
+// to all of them performs one RunCtx call for many logical lookups; counting
+// the extra waiters here keeps MemoStats meaning "one bucket per lookup"
+// across layers.
+func (se *Session) CountCoalescedHits(n uint64) {
+	se.mu.Lock()
+	se.hits += n
+	se.mu.Unlock()
 }
 
 // Speedup returns the ratio of the spec's IPC to the baseline (no-VP)

@@ -86,8 +86,8 @@ func TestSessionMemoizes(t *testing.T) {
 	if len(se.sortedSpecs()) != 1 {
 		t.Errorf("memo holds %d specs, want 1", len(se.sortedSpecs()))
 	}
-	if hits, misses := se.MemoStats(); hits != 1 || misses != 1 {
-		t.Errorf("MemoStats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	if m := se.MemoStats(); m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("MemoStats = (%d hits, %d misses), want (1, 1)", m.Hits, m.Misses)
 	}
 }
 

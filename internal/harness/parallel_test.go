@@ -124,12 +124,12 @@ func TestConcurrentRunSingleflight(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	hits, misses := se.MemoStats()
-	if misses != uint64(len(distinct)) {
+	m := se.MemoStats()
+	if m.Misses != uint64(len(distinct)) {
 		t.Errorf("%d simulations started, want exactly %d (one per distinct spec)",
-			misses, len(distinct))
+			m.Misses, len(distinct))
 	}
-	if total := hits + misses; total != goroutines*uint64(len(distinct)) {
+	if total := m.Hits + m.Misses; total != goroutines*uint64(len(distinct)) {
 		t.Errorf("memo saw %d lookups, want %d", total, goroutines*len(distinct))
 	}
 }

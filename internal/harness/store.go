@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// StoreVersion is the simulator version token persisted entries are keyed
+// and verified under. Bump it whenever pipeline, core, or kernels semantics
+// change — anything that could make an old record differ from what the
+// current simulator would produce — and every stale entry silently becomes
+// a miss instead of a wrong answer.
+const StoreVersion = "vpsim-v1"
+
+// UseStore attaches a persistent record store under the session memo:
+// reads-through on a memo miss before simulating, writes-behind after a
+// successful simulation. Cancellations and errors are never persisted
+// (mirroring the memo's own "cancellation never memoized" invariant).
+// Attach before concurrent use; a nil store detaches.
+func (se *Session) UseStore(st *store.Store) {
+	se.mu.Lock()
+	se.store = st
+	se.mu.Unlock()
+}
+
+// Store returns the attached store (nil when none).
+func (se *Session) Store() *store.Store {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.store
+}
+
+// storeID renders the canonical spec as the entry's recorded identity — the
+// human-readable string the key is derived from, re-verified on load so a
+// key collision degrades to a miss.
+func (s Spec) storeID() string {
+	return fmt.Sprintf("%s/%s/counters=%d/recovery=%d/width=%d/loads_only=%t/max_hist=%d/fpc_vec=%s",
+		s.Kernel, s.Predictor, s.Counters, s.Recovery, s.Width, s.LoadsOnly, s.MaxHist, s.FPCVec)
+}
+
+// kernelFingerprint hashes the kernel's encoded program, so a kernel whose
+// generated code changes invalidates its entries even without a version
+// bump. Cached per kernel for the session's lifetime.
+func (se *Session) kernelFingerprint(kernel string) (string, bool) {
+	se.mu.Lock()
+	if fp, ok := se.fps[kernel]; ok {
+		se.mu.Unlock()
+		return fp, true
+	}
+	se.mu.Unlock()
+
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256(k.Build().Encode())
+	fp := hex.EncodeToString(sum[:])
+
+	se.mu.Lock()
+	if se.fps == nil {
+		se.fps = make(map[string]string)
+	}
+	se.fps[kernel] = fp
+	se.mu.Unlock()
+	return fp, true
+}
+
+// storeKey derives the entry key for spec under this session: canonical spec
+// identity, kernel fingerprint, the session's measurement windows (window
+// sizing is session-wide state that determines the result), and the
+// simulator version token. ok is false when the spec cannot be keyed
+// (unknown kernel) — the caller falls through to simulate, which reports the
+// real error.
+func (se *Session) storeKey(spec Spec) (key store.Key, id string, ok bool) {
+	fp, ok := se.kernelFingerprint(spec.Kernel)
+	if !ok {
+		return store.Key{}, "", false
+	}
+	id = spec.storeID()
+	windows := fmt.Sprintf("warmup=%d/measure=%d", se.Warmup, se.Measure)
+	return store.KeyOf(id, fp, windows, StoreVersion), id, true
+}
+
+// storeLoad is the read-through: probe the attached store for spec's
+// persisted stats. Any load failure — missing, corrupt, stale version,
+// mismatched identity — reports false and the caller simulates.
+func (se *Session) storeLoad(st *store.Store, spec Spec) (*Result, bool) {
+	key, id, ok := se.storeKey(spec)
+	if !ok {
+		return nil, false
+	}
+	var stats pipeline.Stats
+	if !st.Get(key, id, &stats) {
+		return nil, false
+	}
+	return &Result{Spec: spec, Stats: stats}, true
+}
+
+// storeSave is the write-behind: persist a freshly simulated result.
+// Best-effort — a failed write is counted in the store's own stats and only
+// costs a future process a re-simulation.
+func (se *Session) storeSave(st *store.Store, spec Spec, r *Result) {
+	key, id, ok := se.storeKey(spec)
+	if !ok {
+		return
+	}
+	_ = st.Put(key, id, r.Stats)
+}

@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// storeSession opens a store over dir with the given version token and
+// attaches it to a fresh session — the moral equivalent of a new process
+// pointed at a shared -store-dir.
+func storeSession(t *testing.T, dir, version string, warmup, measure uint64) *Session {
+	t.Helper()
+	st, err := store.Open(dir, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSession(warmup, measure)
+	se.UseStore(st)
+	return se
+}
+
+// TestStoreDifferentialByteIdentical is the PR's acceptance differential:
+// records served from the persistent store must be byte-identical — in both
+// JSON and CSV renderings — to records from a fresh simulation. pipeline.Stats
+// is all exported integer counters, so a JSON round-trip through the store
+// loses nothing; this test pins that property end to end.
+func TestStoreDifferentialByteIdentical(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	warmup, measure := testWindows(5_000, 60_000)
+	specs := []Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "gzip", Predictor: "vtage", Counters: FPC},
+		{Kernel: "art", Predictor: "stride", Counters: BaselineCounters},
+		{Kernel: "mcf", Predictor: "vtage", Counters: FPC, Width: 4, MaxHist: 128},
+	}
+
+	render := func(se *Session) (string, string) {
+		t.Helper()
+		recs, err := se.Records(specs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := WriteJSON(&j, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, recs); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+
+	cold := storeSession(t, dir, StoreVersion, warmup, measure)
+	coldJSON, coldCSV := render(cold)
+	if m := cold.MemoStats(); m.StoreHits != 0 || m.Misses == 0 {
+		t.Fatalf("cold session over an empty store: %d store hits / %d misses, want 0 / >0", m.StoreHits, m.Misses)
+	}
+
+	warm := storeSession(t, dir, StoreVersion, warmup, measure)
+	warmJSON, warmCSV := render(warm)
+	m := warm.MemoStats()
+	if m.Misses != 0 {
+		t.Errorf("warm session simulated %d specs over a populated store, want 0", m.Misses)
+	}
+	if m.StoreHits == 0 {
+		t.Error("warm session reported no store hits")
+	}
+	if warmJSON != coldJSON {
+		t.Errorf("store-loaded JSON differs from fresh simulation:\n--- cold\n%s--- warm\n%s", coldJSON, warmJSON)
+	}
+	if warmCSV != coldCSV {
+		t.Errorf("store-loaded CSV differs from fresh simulation:\n--- cold\n%s--- warm\n%s", coldCSV, warmCSV)
+	}
+}
+
+// TestStoreCancelledRunNotPersisted: a cancelled simulation must leave the
+// store untouched — the persistent twin of "cancellation never memoized". A
+// partial result written to disk would be served as truth to every future
+// process.
+func TestStoreCancelledRunNotPersisted(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	se := storeSession(t, dir, StoreVersion, 50_000, 1_500_000)
+	spec := Spec{Kernel: "gzip", Predictor: "none"}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := se.RunCtx(ctx, spec)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let it get into the simulate loop
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunCtx never returned after cancel")
+	}
+	if n, err := se.Store().Len(); err != nil || n != 0 {
+		t.Errorf("cancelled run persisted %d store entries (err %v), want 0", n, err)
+	}
+}
+
+// TestStoreVersionBumpInvalidates: reopening the same directory under a newer
+// version token must treat every old entry as a miss and re-simulate — stale
+// results are never served across a simulator change.
+func TestStoreVersionBumpInvalidates(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	warmup, measure := testWindows(1_000, 4_000)
+	spec := Spec{Kernel: "gzip", Predictor: "lvp"}
+
+	v1 := storeSession(t, dir, StoreVersion, warmup, measure)
+	if _, err := v1.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v1.Store().Len(); err != nil || n == 0 {
+		t.Fatalf("first run persisted %d entries (err %v), want >0", n, err)
+	}
+
+	v2 := storeSession(t, dir, StoreVersion+"-next", warmup, measure)
+	if _, err := v2.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	m := v2.MemoStats()
+	if m.StoreHits != 0 || m.Misses == 0 {
+		t.Errorf("version-bumped session saw %d store hits / %d misses, want 0 / >0", m.StoreHits, m.Misses)
+	}
+}
+
+// TestStoreWindowChangeInvalidates: the measurement windows are part of the
+// key — a session with different warmup/measure must not be served another
+// session's records.
+func TestStoreWindowChangeInvalidates(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	spec := Spec{Kernel: "gzip", Predictor: "lvp"}
+
+	a := storeSession(t, dir, StoreVersion, 1_000, 4_000)
+	ra, err := a.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := storeSession(t, dir, StoreVersion, 1_000, 8_000)
+	rb, err := b.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := b.MemoStats(); m.StoreHits != 0 {
+		t.Errorf("different-window session got %d store hits, want 0", m.StoreHits)
+	}
+	if ra.Stats == rb.Stats {
+		t.Error("different measurement windows produced identical stats — window keying untestable")
+	}
+}
+
+// TestStoreCorruptionResimulatesAndHeals: a corrupted entry must degrade to a
+// miss through the session (never an error, never a wrong answer), and the
+// write-behind after the re-simulation must restore the entry so the process
+// after next is warm again.
+func TestStoreCorruptionResimulatesAndHeals(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	warmup, measure := testWindows(1_000, 4_000)
+	spec := Spec{Kernel: "art", Predictor: "lvp"}
+
+	first := storeSession(t, dir, StoreVersion, warmup, measure)
+	want, err := first.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key, _, ok := first.storeKey(spec.Canonical())
+	if !ok {
+		t.Fatal("storeKey failed for a valid spec")
+	}
+	if err := first.Store().Tamper(key, func(b []byte) []byte { return b[:len(b)/2] }); err != nil {
+		t.Fatal(err)
+	}
+
+	second := storeSession(t, dir, StoreVersion, warmup, measure)
+	got, err := second.Run(spec)
+	if err != nil {
+		t.Fatalf("run over a corrupted store failed: %v", err)
+	}
+	m := second.MemoStats()
+	if m.StoreHits != 0 || m.Misses != 1 {
+		t.Errorf("corrupted entry: %d store hits / %d misses, want 0/1", m.StoreHits, m.Misses)
+	}
+	if m.Store.LoadErrors == 0 {
+		t.Error("corruption was not surfaced in store load-error counters")
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("re-simulation after corruption diverged:\n%+v\n%+v", got.Stats, want.Stats)
+	}
+
+	// The write-behind healed the entry: a third session is warm again.
+	third := storeSession(t, dir, StoreVersion, warmup, measure)
+	if _, err := third.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if m := third.MemoStats(); m.StoreHits != 1 || m.Misses != 0 {
+		t.Errorf("healed entry: %d store hits / %d misses, want 1/0", m.StoreHits, m.Misses)
+	}
+}
+
+// TestStoreFig4SecondProcessZeroMisses is the PR's warm-start acceptance
+// criterion at full batch scale: a first session runs the complete Fig. 4
+// matrix (baselines included) into a store; a second cold session over the
+// same directory must complete the identical batch with zero simulation
+// misses and records identical to the first pass.
+func TestStoreFig4SecondProcessZeroMisses(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	warmup, measure := testWindows(1_000, 4_000)
+	specs := Fig4Specs()
+
+	first := storeSession(t, dir, StoreVersion, warmup, measure)
+	want, err := first.Records(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := storeSession(t, dir, StoreVersion, warmup, measure)
+	got, err := second.Records(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := second.MemoStats()
+	if m.Misses != 0 {
+		t.Errorf("second process over a populated store simulated %d specs, want 0 (store hits %d)", m.Misses, m.StoreHits)
+	}
+	if m.StoreHits == 0 {
+		t.Error("second process reported no store hits")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("record counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("record %d differs between cold and warm pass:\n%+v\n%+v", i, want[i], got[i])
+		}
+	}
+}

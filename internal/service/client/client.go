@@ -187,13 +187,22 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) e
 	return final, fmt.Errorf("service: stream for job %s ended without a done event", id)
 }
 
-// Wait streams the job to completion, discarding events, and then fetches
-// the full terminal status (records and artifact included). If the job was
-// evicted by the server's finished-job retention between the stream ending
-// and the fetch, the stream's own terminal status (which omits the record
-// list) is returned instead of a spurious not-found error.
+// Wait streams the job to completion, collecting its record events, and
+// then fetches the full terminal status (records and artifact included). If
+// the job was evicted by the server's finished-job retention between the
+// stream ending and the fetch, the terminal status is synthesized from the
+// stream instead: the "done" event's status plus the streamed records laid
+// out in spec order — the same shape the fetch would have returned — so a
+// successful run never turns into a spurious not-found error or a record-
+// less result.
 func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
-	final, err := c.Stream(ctx, id, nil)
+	records := make(map[int]harness.Record)
+	final, err := c.Stream(ctx, id, func(ev service.Event) error {
+		if ev.Type == "record" && ev.Record != nil {
+			records[ev.Index] = *ev.Record
+		}
+		return nil
+	})
 	if err != nil {
 		return service.JobStatus{}, err
 	}
@@ -201,6 +210,18 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 	if err != nil {
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			if len(records) > 0 && final.Specs > 0 {
+				// Missing indices stay zero-valued, matching the server's own
+				// terminal status for a job that lost specs (the stream's
+				// "error" events named them).
+				recs := make([]harness.Record, final.Specs)
+				for i, r := range records {
+					if i >= 0 && i < len(recs) {
+						recs[i] = r
+					}
+				}
+				final.Records = recs
+			}
 			return final, nil
 		}
 		return service.JobStatus{}, err

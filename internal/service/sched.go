@@ -172,7 +172,13 @@ func (s *scheduler) runSpec(cur task) {
 		}
 		if !abandoned {
 			// Success or a real (memoized) error: every waiter gets the
-			// same outcome the memo now holds.
+			// same outcome the memo now holds. Each waiter is one logical
+			// lookup the scheduler answered above the session, so record
+			// them as memo hits — otherwise coalescing would silently
+			// deflate the hit count (one RunCtx for many lookups).
+			if len(waiters) > 0 {
+				s.session.CountCoalescedHits(uint64(len(waiters)))
+			}
 			for _, w := range waiters {
 				w.sink.deliver(w.idx, res, err)
 			}

@@ -86,7 +86,7 @@ func TestOwnerPromotionServesParkedWaiters(t *testing.T) {
 
 	deadCtx, cancelDead := context.WithCancel(context.Background())
 	defer cancelDead()
-	dead := newPromoSink(deadCtx)       // will be cancelled while parked
+	dead := newPromoSink(deadCtx) // will be cancelled while parked
 	promoted := newPromoSink(context.Background())
 	survivor := newPromoSink(context.Background())
 	for i, s := range []*promoSink{dead, promoted, survivor} {
@@ -123,8 +123,72 @@ func TestOwnerPromotionServesParkedWaiters(t *testing.T) {
 	waitFor("workers idle", func() bool { return sched.busy.Load() == 0 })
 	// The re-run's result must be memoized for later requests (the
 	// cancellation was the owner's, not the promoted run's).
-	if hits, misses := se.MemoStats(); misses != 2 {
-		t.Errorf("memo misses = %d (hits %d), want 2: the abandoned owner run and the promoted re-run", misses, hits)
+	if m := se.MemoStats(); m.Misses != 2 || m.Hits != 1 {
+		t.Errorf("memo stats = %d misses / %d hits, want 2/1: the abandoned owner run and the promoted re-run are "+
+			"the misses, the fanned-out survivor the one hit — a double-counted promotion would inflate the misses, "+
+			"an uncounted survivor would deflate the hits", m.Misses, m.Hits)
+	}
+}
+
+// TestMemoStatsCoalescedWaitersCountAsHits pins the contention accounting
+// (run with -race): waiters the scheduler parks on an in-flight spec never
+// call RunCtx themselves, yet each is one logical lookup served from the
+// memo entry once the owner finishes. They must count as exactly one hit
+// each — no more (double delivery) and no less (coalescing silently
+// swallowing lookups).
+func TestMemoStatsCoalescedWaitersCountAsHits(t *testing.T) {
+	// Windows long enough that the owner is still simulating while every
+	// duplicate parks.
+	se := harness.NewSession(10_000, 1_500_000)
+	sched := newScheduler(se, 2)
+	defer sched.close()
+	spec := harness.Spec{Kernel: "gzip", Predictor: "none"}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	owner := newPromoSink(context.Background())
+	if err := sched.submit(task{sink: owner, idx: 0, spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("owner in flight", func() bool { return sched.busy.Load() == 1 })
+
+	const dupes = 3
+	waiters := make([]*promoSink, dupes)
+	for i := range waiters {
+		waiters[i] = newPromoSink(context.Background())
+		if err := sched.submit(task{sink: waiters[i], idx: i + 1, spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i + 1)
+		waitFor("waiter parked", func() bool { return sched.coalesced.Load() == want })
+	}
+
+	oRes, oErr := owner.wait(t, "owner delivery")
+	if oErr != nil || oRes == nil {
+		t.Fatalf("owner got (%v, %v), want a result", oRes, oErr)
+	}
+	for i, w := range waiters {
+		res, err := w.wait(t, "waiter delivery")
+		if err != nil || res == nil {
+			t.Fatalf("waiter %d got (%v, %v), want a result", i, res, err)
+		}
+		if res.Stats != oRes.Stats {
+			t.Errorf("waiter %d's fanned-out result differs from the owner's", i)
+		}
+	}
+	if m := se.MemoStats(); m.Misses != 1 || m.Hits != dupes {
+		t.Errorf("memo stats = %d misses / %d hits, want 1/%d: one simulation, one hit per coalesced waiter",
+			m.Misses, m.Hits, dupes)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/store"
 )
 
 // Options configures a Server. The zero value is usable: every field has a
@@ -25,6 +26,16 @@ type Options struct {
 	MaxJobs        int           // max unfinished jobs admitted (default 64)
 	MaxBatch       int           // max specs per batch or experiment (default 4096)
 	RequestTimeout time.Duration // synchronous endpoint budget (default 2m)
+
+	// StoreDir, when non-empty, attaches a persistent content-addressed
+	// record store under the session memo: results survive restarts, and any
+	// number of processes may share the directory. Empty: memory-only.
+	StoreDir string
+
+	// FinishedJobRetention bounds how many terminal jobs stay queryable;
+	// the oldest are evicted first (default 256). Active jobs are never
+	// evicted.
+	FinishedJobRetention int
 }
 
 // WithDefaults resolves every unset field to its serving default — the one
@@ -48,6 +59,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 2 * time.Minute
+	}
+	if o.FinishedJobRetention <= 0 {
+		o.FinishedJobRetention = 256
 	}
 	return o
 }
@@ -74,11 +88,9 @@ type Server struct {
 	draining bool
 }
 
-// finishedJobRetention bounds how many terminal jobs stay queryable; the
-// oldest are evicted first. Active jobs are never evicted.
-const finishedJobRetention = 256
-
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. A non-empty o.StoreDir
+// opens (creating if needed) the persistent record store and attaches it
+// under the session memo; an unusable directory is a construction error.
 func New(o Options) (*Server, error) {
 	o = o.WithDefaults()
 	s := &Server{
@@ -86,6 +98,13 @@ func New(o Options) (*Server, error) {
 		session: harness.NewSession(o.Warmup, o.Measure),
 		jobs:    make(map[string]*job),
 		start:   time.Now(),
+	}
+	if o.StoreDir != "" {
+		st, err := store.Open(o.StoreDir, harness.StoreVersion)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.session.UseStore(st)
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.sched = newScheduler(s.session, o.Workers)
@@ -187,7 +206,7 @@ func (s *Server) jobFinished() {
 	defer s.mu.Unlock()
 	s.active--
 	finished := len(s.jobs) - s.active
-	if finished <= finishedJobRetention {
+	if finished <= s.opts.FinishedJobRetention {
 		return
 	}
 	kept := s.order[:0]
@@ -199,7 +218,7 @@ func (s *Server) jobFinished() {
 		j.mu.Lock()
 		terminal := terminalState(j.state)
 		j.mu.Unlock()
-		if terminal && finished > finishedJobRetention {
+		if terminal && finished > s.opts.FinishedJobRetention {
 			delete(s.jobs, id)
 			finished--
 			continue
@@ -540,7 +559,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats snapshots the observable server state (the /v1/statsz body).
 func (s *Server) Stats() ServerStats {
-	hits, misses := s.session.MemoStats()
+	memo := s.session.MemoStats()
 	s.mu.Lock()
 	jobs := make(map[string]int)
 	for _, j := range s.jobs {
@@ -550,16 +569,17 @@ func (s *Server) Stats() ServerStats {
 	}
 	active, draining := s.active, s.draining
 	s.mu.Unlock()
-	return ServerStats{
-		Workers:     s.opts.Workers,
-		BusyWorkers: int(s.sched.busy.Load()),
-		QueuedTasks: int(s.sched.queued.Load()),
-		Coalesced:   s.sched.coalesced.Load(),
-		MemoHits:    hits,
-		MemoMisses:  misses,
-		Jobs:        jobs,
-		ActiveJobs:  active,
-		Draining:    draining,
+	out := ServerStats{
+		Workers:       s.opts.Workers,
+		BusyWorkers:   int(s.sched.busy.Load()),
+		QueuedTasks:   int(s.sched.queued.Load()),
+		Coalesced:     s.sched.coalesced.Load(),
+		MemoHits:      memo.Hits,
+		MemoMisses:    memo.Misses,
+		MemoStoreHits: memo.StoreHits,
+		Jobs:          jobs,
+		ActiveJobs:    active,
+		Draining:      draining,
 		Limits: Limits{
 			MaxJobs:          s.opts.MaxJobs,
 			MaxBatch:         s.opts.MaxBatch,
@@ -568,6 +588,17 @@ func (s *Server) Stats() ServerStats {
 			Measure:          s.opts.Measure,
 		},
 	}
+	if st := s.session.Store(); st != nil {
+		out.Store = &StoreStats{
+			Dir:         st.Dir(),
+			Hits:        memo.Store.Hits,
+			Misses:      memo.Store.Misses,
+			LoadErrors:  memo.Store.LoadErrors,
+			Writes:      memo.Store.Writes,
+			WriteErrors: memo.Store.WriteErrors,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

@@ -355,6 +355,93 @@ func TestAdmissionLimits(t *testing.T) {
 	}
 }
 
+// evictThenForward intercepts the client's follow-up GET /v1/jobs/{id}
+// (the non-stream one Wait issues after its stream ends) and, before
+// forwarding it, forces the job out of retention — deterministically
+// reproducing the race where eviction lands between the stream's done event
+// and the status fetch.
+type evictThenForward struct {
+	base  http.RoundTripper
+	jobID string
+	once  sync.Once
+	evict func()
+}
+
+func (e *evictThenForward) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Method == http.MethodGet && req.URL.Path == "/v1/jobs/"+e.jobID {
+		e.once.Do(e.evict)
+	}
+	return e.base.RoundTrip(req)
+}
+
+// TestWaitSurvivesRetentionEviction pins the finished-job retention race:
+// with retention shrunk to 1, the job Wait is following is evicted between
+// its stream ending and the follow-up GET. Wait must return the terminal
+// done status with every record — synthesized from the stream — instead of
+// a spurious not-found error or a record-less status.
+func TestWaitSurvivesRetentionEviction(t *testing.T) {
+	_, plain, ts := newTestServer(t, Options{Workers: 2, FinishedJobRetention: 1})
+	ctx := context.Background()
+	specs := []harness.Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "art", Predictor: "none"},
+	}
+
+	rt := &evictThenForward{base: http.DefaultTransport}
+	rt.evict = func() {
+		// A filler job takes the single retention slot...
+		filler, err := plain.SubmitBatch(ctx, specRequests([]harness.Spec{{Kernel: "mcf", Predictor: "none"}}))
+		if err != nil {
+			t.Errorf("filler submit: %v", err)
+			return
+		}
+		if _, err := plain.Stream(ctx, filler.ID, nil); err != nil {
+			t.Errorf("filler stream: %v", err)
+			return
+		}
+		// ...and the watched job must actually be gone before the GET goes
+		// through (eviction runs as the filler finalizes; poll it home).
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			_, err := plain.Job(ctx, rt.jobID)
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Error("watched job was never evicted")
+	}
+	c := client.NewWithHTTPClient(ts.URL, &http.Client{Transport: rt})
+
+	st, err := c.SubmitBatch(ctx, specRequests(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.jobID = st.ID
+
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Wait over an evicted job failed: %v", err)
+	}
+	if final.State != StateDone || final.Completed != len(specs) {
+		t.Fatalf("synthesized status = state %q completed %d, want %q/%d (error: %s)",
+			final.State, final.Completed, StateDone, len(specs), final.Error)
+	}
+	if len(final.Records) != len(specs) {
+		t.Fatalf("synthesized status carries %d records, want %d", len(final.Records), len(specs))
+	}
+	for i, rec := range final.Records {
+		if rec.Kernel != specs[i].Kernel || rec.IPC <= 0 {
+			t.Errorf("record %d lost in eviction: %+v", i, rec)
+		}
+	}
+	// The race really happened: the job is gone server-side.
+	if _, err := plain.Job(ctx, st.ID); err == nil {
+		t.Error("watched job still queryable — the test never exercised eviction")
+	}
+}
+
 // TestStreamFormats checks both stream transports: NDJSON replay for an
 // already-finished job, and SSE framing.
 func TestStreamFormats(t *testing.T) {

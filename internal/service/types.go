@@ -173,17 +173,33 @@ type Limits struct {
 	Measure          uint64 `json:"measure_uops"`
 }
 
+// StoreStats is the persistent-store section of /v1/statsz, present only
+// when the daemon was started with -store-dir.
+type StoreStats struct {
+	Dir         string `json:"dir"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	LoadErrors  uint64 `json:"load_errors"`
+	Writes      uint64 `json:"writes"`
+	WriteErrors uint64 `json:"write_errors"`
+}
+
 // ServerStats is the body of GET /v1/statsz: scheduler load, the shared
-// session's memo effectiveness, and the job population by state.
+// session's memo/store effectiveness, and the job population by state.
+// MemoMisses counts simulations actually started; a result loaded from the
+// persistent store is a MemoStoreHit, not a miss, so "memo_misses == 0"
+// across a run is the warm-start success criterion.
 type ServerStats struct {
-	Workers     int            `json:"workers"`
-	BusyWorkers int            `json:"busy_workers"`
-	QueuedTasks int            `json:"queued_tasks"`
-	Coalesced   uint64         `json:"coalesced_tasks"`
-	MemoHits    uint64         `json:"memo_hits"`
-	MemoMisses  uint64         `json:"memo_misses"`
-	Jobs        map[string]int `json:"jobs"`
-	ActiveJobs  int            `json:"active_jobs"`
-	Draining    bool           `json:"draining"`
-	Limits      Limits         `json:"limits"`
+	Workers       int            `json:"workers"`
+	BusyWorkers   int            `json:"busy_workers"`
+	QueuedTasks   int            `json:"queued_tasks"`
+	Coalesced     uint64         `json:"coalesced_tasks"`
+	MemoHits      uint64         `json:"memo_hits"`
+	MemoMisses    uint64         `json:"memo_misses"`
+	MemoStoreHits uint64         `json:"memo_store_hits"`
+	Jobs          map[string]int `json:"jobs"`
+	ActiveJobs    int            `json:"active_jobs"`
+	Draining      bool           `json:"draining"`
+	Store         *StoreStats    `json:"store,omitempty"`
+	Limits        Limits         `json:"limits"`
 }

@@ -64,13 +64,25 @@ var (
 	_ Runner = (*RemoteRunner)(nil)
 )
 
+// MemoStats snapshots a session's caching effectiveness: in-process memo
+// hits, persistent-store hits, and misses (simulations actually started),
+// plus the attached store's own counters.
+type MemoStats = harness.MemoStats
+
 // RunnerOptions sizes a LocalRunner: per-simulation windows and the worker
 // pool. The zero value is the paper's interactive default (50k warmup /
-// 250k measured µops, GOMAXPROCS workers).
+// 250k measured µops, GOMAXPROCS workers, no persistent store).
 type RunnerOptions struct {
 	Warmup  uint64 // µops before measurement per simulation (default 50_000)
 	Measure uint64 // measured µops per simulation (default 250_000)
 	Workers int    // parallel simulation workers (<=0: GOMAXPROCS)
+
+	// StoreDir, when non-empty, attaches a persistent content-addressed
+	// record store under the session memo: simulation results are loaded
+	// from (and persisted to) the directory, so a fresh process over a
+	// populated store pays disk reads instead of simulations. Any number of
+	// processes may share one directory.
+	StoreDir string
 }
 
 // withDefaults resolves unset windows to the facade defaults. Workers stays

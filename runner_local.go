@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/harness"
+	"repro/internal/store"
 )
 
 // LocalRunner runs simulations in-process on one long-lived
@@ -20,19 +21,39 @@ type LocalRunner struct {
 	session *harness.Session
 }
 
-// NewLocalRunner builds a runner over a fresh session sized by o.
-func NewLocalRunner(o RunnerOptions) *LocalRunner {
+// OpenLocalRunner builds a runner over a fresh session sized by o, opening
+// (creating if needed) the persistent record store when o.StoreDir is set.
+func OpenLocalRunner(o RunnerOptions) (*LocalRunner, error) {
 	o = o.withDefaults()
-	return &LocalRunner{opts: o, session: harness.NewSession(o.Warmup, o.Measure)}
+	se := harness.NewSession(o.Warmup, o.Measure)
+	if o.StoreDir != "" {
+		st, err := store.Open(o.StoreDir, harness.StoreVersion)
+		if err != nil {
+			return nil, err
+		}
+		se.UseStore(st)
+	}
+	return &LocalRunner{opts: o, session: se}, nil
+}
+
+// NewLocalRunner builds a runner over a fresh session sized by o. It panics
+// if o.StoreDir is set and unusable; callers that configure a store should
+// prefer OpenLocalRunner.
+func NewLocalRunner(o RunnerOptions) *LocalRunner {
+	r, err := OpenLocalRunner(o)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // Session exposes the shared session, for callers that need harness-level
 // access (the deprecated facade wrappers, benchmarks, tests).
 func (r *LocalRunner) Session() *harness.Session { return r.session }
 
-// MemoStats reports the shared session's memo effectiveness — the local
-// analogue of the service's /v1/statsz counters.
-func (r *LocalRunner) MemoStats() (hits, misses uint64) { return r.session.MemoStats() }
+// MemoStats reports the shared session's memo and store effectiveness — the
+// local analogue of the service's /v1/statsz counters.
+func (r *LocalRunner) MemoStats() MemoStats { return r.session.MemoStats() }
 
 // Simulate runs one spec and the baseline its speedup needs (scheduled
 // together, so they run in parallel when the runner has more than one

@@ -238,7 +238,7 @@ func TestRunnerExperimentWindowOverride(t *testing.T) {
 		t.Errorf("window override render differs from native windows:\n--- native\n%s--- override\n%s",
 			native.String(), overridden.String())
 	}
-	if _, misses := other.MemoStats(); misses != 0 {
+	if misses := other.MemoStats().Misses; misses != 0 {
 		t.Errorf("window-overridden render leaked %d simulations into the runner's session", misses)
 	}
 }
@@ -248,7 +248,7 @@ func TestRunnerExperimentWindowOverride(t *testing.T) {
 // window sweeps cannot retain traces without limit.
 func TestDefaultRunnerPoolBounded(t *testing.T) {
 	for i := 0; i < maxDefaultRunners+3; i++ {
-		defaultLocalRunner(uint64(31+i), uint64(91+i)) // windows nobody else uses
+		defaultLocalRunner(uint64(31+i), uint64(91+i), "") // windows nobody else uses
 	}
 	defaultMu.Lock()
 	n, ordered := len(defaultRunners), len(defaultOrder)
@@ -257,8 +257,8 @@ func TestDefaultRunnerPoolBounded(t *testing.T) {
 		t.Errorf("pool holds %d runners (%d ordered), want %d", n, ordered, maxDefaultRunners)
 	}
 	// A repeat request for a live sizing is still the same runner.
-	a := defaultLocalRunner(uint64(31+maxDefaultRunners+2), uint64(91+maxDefaultRunners+2))
-	b := defaultLocalRunner(uint64(31+maxDefaultRunners+2), uint64(91+maxDefaultRunners+2))
+	a, _ := defaultLocalRunner(uint64(31+maxDefaultRunners+2), uint64(91+maxDefaultRunners+2), "")
+	b, _ := defaultLocalRunner(uint64(31+maxDefaultRunners+2), uint64(91+maxDefaultRunners+2), "")
 	if a != b {
 		t.Error("repeat lookup of a retained sizing returned a different runner")
 	}
@@ -275,8 +275,11 @@ func TestDeprecatedSimulateSharesDefaultRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := defaultLocalRunner(o.Warmup, o.Measure)
-	_, missesAfterFirst := r.MemoStats()
+	r, err := defaultLocalRunner(o.Warmup, o.Measure, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := r.MemoStats().Misses
 	if missesAfterFirst != 2 { // the run and its baseline
 		t.Fatalf("first Simulate started %d simulations, want 2", missesAfterFirst)
 	}
@@ -284,12 +287,12 @@ func TestDeprecatedSimulateSharesDefaultRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := r.MemoStats()
-	if misses != missesAfterFirst {
+	m := r.MemoStats()
+	if m.Misses != missesAfterFirst {
 		t.Errorf("second identical Simulate started %d new simulations; the default runner is not shared",
-			misses-missesAfterFirst)
+			m.Misses-missesAfterFirst)
 	}
-	if hits == 0 {
+	if m.Hits == 0 {
 		t.Error("second identical Simulate recorded no memo hits")
 	}
 	if first != second {
