@@ -44,17 +44,23 @@ type SteadyResult struct {
 	UopsPerSec   float64 `json:"uops_per_sec"`
 }
 
-// Fig4Result is the Fig. 4 batch wall-clock measurement.
+// Fig4Result is the Fig. 4 batch wall-clock measurement. ParallelSpeedup is
+// null when the parallel pass could not actually run in parallel (effective
+// parallelism of 1): a pinned GOMAXPROCS or a single-CPU machine makes the
+// two passes measure the same thing, and recording their ratio as a
+// "speedup" would be noise presented as signal.
 type Fig4Result struct {
-	Specs           int     `json:"specs"`
-	Warmup          uint64  `json:"warmup_uops"`
-	Measure         uint64  `json:"measure_uops"`
-	UopsTotal       uint64  `json:"uops_total"`
-	WallSeconds1W   float64 `json:"wall_s_1_worker"`
-	UopsPerSec1W    float64 `json:"uops_per_sec_1_worker"`
-	WallSecondsPar  float64 `json:"wall_s_parallel"`
-	ParallelWorkers int     `json:"parallel_workers"`
-	ParallelSpeedup float64 `json:"parallel_speedup"`
+	Specs            int      `json:"specs"`
+	Warmup           uint64   `json:"warmup_uops"`
+	Measure          uint64   `json:"measure_uops"`
+	UopsTotal        uint64   `json:"uops_total"`
+	WallSeconds1W    float64  `json:"wall_s_1_worker"`
+	UopsPerSec1W     float64  `json:"uops_per_sec_1_worker"`
+	WallSecondsPar   float64  `json:"wall_s_parallel"`
+	RequestedWorkers int      `json:"requested_workers"`
+	EffectiveProcs   int      `json:"effective_gomaxprocs"`
+	NumCPU           int      `json:"num_cpu"`
+	ParallelSpeedup  *float64 `json:"parallel_speedup"`
 }
 
 // AblationResult is the ablation-batch measurement: the union of the four
@@ -170,8 +176,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs at 1 worker (%.0f uops/s), %.2fs at %d workers (%.2fx)\n",
-		f4.Specs, f4.WallSeconds1W, f4.UopsPerSec1W, f4.WallSecondsPar, f4.ParallelWorkers, f4.ParallelSpeedup)
+	parSp := "speedup n/a"
+	if f4.ParallelSpeedup != nil {
+		parSp = fmt.Sprintf("%.2fx", *f4.ParallelSpeedup)
+	}
+	fmt.Fprintf(os.Stderr, "  %d specs: %.2fs at 1 worker (%.0f uops/s), %.2fs at %d workers (%s)\n",
+		f4.Specs, f4.WallSeconds1W, f4.UopsPerSec1W, f4.WallSecondsPar, f4.RequestedWorkers, parSp)
 	rec.Fig4 = &f4
 
 	fmt.Fprintf(os.Stderr, "bench: warm start (fig4 batch, cold store-backed pass vs store-served pass)\n")
@@ -296,6 +306,13 @@ func measureSteady(kernel, predictor string, quick bool) (SteadyResult, error) {
 // The declared spec list repeats per-kernel baselines across its two counter
 // halves; duplicates are removed so uops_total counts real simulations (the
 // session memo would dedupe them at run time anyway).
+//
+// The parallel pass raises GOMAXPROCS to the requested worker count for its
+// duration (and restores it after): a pool of N goroutine workers under
+// GOMAXPROCS=1 time-slices one CPU, and the old code reported that as a
+// ~1.0x "parallel speedup" as if it had measured scaling. When even the
+// raised limit yields effective parallelism of 1 — a single-CPU machine —
+// the speedup is recorded as null rather than a fabricated ratio.
 func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
 	specs := harness.DedupSpecs(harness.Fig4Specs())
 	perSim := warmup + measure
@@ -306,24 +323,43 @@ func measureFig4(warmup, measure uint64, workers int) (Fig4Result, error) {
 	}
 	seq := time.Since(start).Seconds()
 
+	prevProcs := runtime.GOMAXPROCS(0)
+	if workers > prevProcs {
+		runtime.GOMAXPROCS(workers)
+	}
+	effective := runtime.GOMAXPROCS(0)
 	start = time.Now()
-	if _, err := harness.NewSession(warmup, measure).RunAll(specs, workers); err != nil {
+	_, err := harness.NewSession(warmup, measure).RunAll(specs, workers)
+	par := time.Since(start).Seconds()
+	if effective != prevProcs {
+		runtime.GOMAXPROCS(prevProcs)
+	}
+	if err != nil {
 		return Fig4Result{}, err
 	}
-	par := time.Since(start).Seconds()
 
 	total := uint64(len(specs)) * perSim
-	return Fig4Result{
-		Specs:           len(specs),
-		Warmup:          warmup,
-		Measure:         measure,
-		UopsTotal:       total,
-		WallSeconds1W:   seq,
-		UopsPerSec1W:    float64(total) / seq,
-		WallSecondsPar:  par,
-		ParallelWorkers: workers,
-		ParallelSpeedup: seq / par,
-	}, nil
+	res := Fig4Result{
+		Specs:            len(specs),
+		Warmup:           warmup,
+		Measure:          measure,
+		UopsTotal:        total,
+		WallSeconds1W:    seq,
+		UopsPerSec1W:     float64(total) / seq,
+		WallSecondsPar:   par,
+		RequestedWorkers: workers,
+		EffectiveProcs:   effective,
+		NumCPU:           runtime.NumCPU(),
+	}
+	if parallelism := min(workers, effective, res.NumCPU); parallelism > 1 {
+		sp := seq / par
+		res.ParallelSpeedup = &sp
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"bench: warning: effective parallelism is 1 (workers=%d, GOMAXPROCS=%d, NumCPU=%d); parallel_speedup recorded as null\n",
+			workers, effective, res.NumCPU)
+	}
+	return res, nil
 }
 
 // measureWarmStart runs the deduplicated fig4 batch through two store-backed

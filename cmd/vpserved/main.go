@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -82,6 +83,12 @@ func main() {
 	if opts.StoreDir != "" {
 		log.Printf("persistent store: %s", opts.StoreDir)
 	}
+	// opts passed through WithDefaults, so Workers here is the effective
+	// pool size even when -workers 0 asked for the default. GOMAXPROCS and
+	// NumCPU alongside it say how much of that pool can actually run at
+	// once — a 16-worker pool on GOMAXPROCS=1 is concurrency, not parallelism.
+	log.Printf("worker pool: %d workers (GOMAXPROCS=%d, NumCPU=%d)",
+		opts.Workers, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	log.Printf("listening on %s (workers=%d warmup=%d measure=%d)",
 		bound, opts.Workers, opts.Warmup, opts.Measure)
 

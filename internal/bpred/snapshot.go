@@ -1,0 +1,66 @@
+package bpred
+
+// Snapshot/Restore capture the branch-prediction substrate for the
+// pipeline's warm-state snapshots (DESIGN.md §9). Snapshots are deep copies
+// of all mutable state; Restore reinstates them in place on an instance
+// built with the same configuration, so shared wiring (the global history
+// object TAGE reads) is preserved.
+
+// TageState is an opaque snapshot of a Tage predictor.
+type TageState struct {
+	base   []uint8
+	tables [NTables][]tageEntry
+	rng    uint32
+}
+
+// Snapshot captures the predictor's tables and allocation RNG. Fold values
+// live in the shared ghist.History and are snapshotted there.
+func (t *Tage) Snapshot() *TageState {
+	st := &TageState{base: append([]uint8(nil), t.base...), rng: t.rng}
+	for i := range t.tables {
+		st.tables[i] = append([]tageEntry(nil), t.tables[i].entries...)
+	}
+	return st
+}
+
+// Restore reinstates a snapshot taken from an identically configured Tage.
+func (t *Tage) Restore(st *TageState) {
+	copy(t.base, st.base)
+	for i := range t.tables {
+		copy(t.tables[i].entries, st.tables[i])
+	}
+	t.rng = st.rng
+}
+
+// BTBState is an opaque snapshot of a BTB.
+type BTBState struct {
+	sets []btbSet
+}
+
+// Snapshot captures the BTB contents.
+func (b *BTB) Snapshot() *BTBState {
+	return &BTBState{sets: append([]btbSet(nil), b.sets...)}
+}
+
+// Restore reinstates a snapshot taken from an identically sized BTB.
+func (b *BTB) Restore(st *BTBState) {
+	copy(b.sets, st.sets)
+}
+
+// RASState is a snapshot of the return address stack.
+type RASState struct {
+	stack [32]uint32
+	top   int
+}
+
+// Snapshot captures the stack and its position.
+func (r *RAS) Snapshot() RASState {
+	return RASState{stack: r.stack, top: r.top}
+}
+
+// RestoreState reinstates a snapshot. (Restore, taking a stack position, is
+// the pipeline's per-squash rollback.)
+func (r *RAS) RestoreState(st RASState) {
+	r.stack = st.stack
+	r.top = st.top
+}

@@ -1,0 +1,42 @@
+package dram
+
+// State is an opaque snapshot of a Memory's mutable state (open rows, bank
+// and bus timing, refresh phase, counters). Restore reinstates it in place
+// on an identically configured Memory.
+type State struct {
+	banks            []bank
+	busFree          int64
+	refDone          int64
+	nextRef          int64
+	reads, writes    uint64
+	rowHits, rowMiss uint64
+	rowConf          uint64
+}
+
+// Snapshot deep-copies the memory state.
+func (m *Memory) Snapshot() *State {
+	return &State{
+		banks:   append([]bank(nil), m.banks...),
+		busFree: m.busFree,
+		refDone: m.refDone,
+		nextRef: m.nextRef,
+		reads:   m.reads,
+		writes:  m.writes,
+		rowHits: m.rowHits,
+		rowMiss: m.rowMiss,
+		rowConf: m.rowConf,
+	}
+}
+
+// Restore reinstates a snapshot taken from an identically configured Memory.
+func (m *Memory) Restore(st *State) {
+	copy(m.banks, st.banks)
+	m.busFree = st.busFree
+	m.refDone = st.refDone
+	m.nextRef = st.nextRef
+	m.reads = st.reads
+	m.writes = st.writes
+	m.rowHits = st.rowHits
+	m.rowMiss = st.rowMiss
+	m.rowConf = st.rowConf
+}

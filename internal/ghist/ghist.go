@@ -4,8 +4,11 @@
 // The history is a ring of conditional-branch outcomes plus a ring of branch
 // PC low bits (the path). Predictors register folded views (circular-shift
 // XOR folds of the most recent L bits into W-bit indices, as in TAGE/ITTAGE
-// hardware); folds are maintained incrementally on every push and rebuilt by
-// replay on rollback, which the pipeline invokes when it squashes.
+// hardware); folds are maintained incrementally on every push. On rollback
+// (which the pipeline invokes when it squashes) the fold values are restored
+// from a per-push checkpoint ring; positions that predate the checkpoint
+// window fall back to replay-rebuilding from the ring contents, which yields
+// the same values the incremental maintenance had at that position.
 package ghist
 
 const (
@@ -32,6 +35,16 @@ type History struct {
 	path  [Capacity]uint16 // PC low bits of every control µop
 	pos   uint64           // total pushes so far; ring index = pos & capMask
 	folds []foldSpec
+
+	// ckpt is the fold-value checkpoint ring: slot (p & capMask) holds the
+	// complete fold vector as it stood at position p, written by the push
+	// that reached p. RollTo restores the vector with one copy instead of
+	// replaying every fold over its whole history window.
+	ckpt []uint64 // Capacity * len(folds), laid out slot-major
+	// ckptFrom is the position checkpoints are valid after: rollbacks to
+	// positions at or before it (registration-time state, restored
+	// snapshots) rebuild by replay instead.
+	ckptFrom uint64
 }
 
 // Pos returns the current history position (total outcomes pushed). Pipeline
@@ -49,8 +62,18 @@ func (h *History) Push(taken bool, pc uint64) {
 	h.bits[idx] = b
 	h.path[idx] = uint16(pc)
 	h.pos++
+	n := len(h.folds)
+	if len(h.ckpt) != Capacity*n {
+		// Sized lazily at the first push after registration settles:
+		// predictors register all folds at construction time, so this
+		// allocates once per history rather than once per fold.
+		h.ckpt = make([]uint64, Capacity*n)
+		h.ckptFrom = h.pos - 1
+	}
+	ck := h.ckpt[int(h.pos&capMask)*n : int(h.pos&capMask)*n+n]
 	for i := range h.folds {
 		h.stepFold(&h.folds[i])
+		ck[i] = h.folds[i].val
 	}
 }
 
@@ -102,6 +125,9 @@ func (h *History) RegisterFold(length, width int, path bool) Fold {
 	}
 	h.folds = append(h.folds, foldSpec{length: length, width: width, path: path})
 	h.rebuildFold(len(h.folds) - 1)
+	// The checkpoint ring is laid out per registered fold, so existing
+	// checkpoints are invalid; Push resizes it lazily on its next call.
+	h.ckptFrom = h.pos
 	return Fold(len(h.folds) - 1)
 }
 
@@ -109,8 +135,11 @@ func (h *History) RegisterFold(length, width int, path bool) Fold {
 func (h *History) Folded(f Fold) uint64 { return h.folds[f].val }
 
 // RollTo rewinds the history to position pos (forgetting newer outcomes) and
-// rebuilds every fold by replay. pos must not be older than what the ring
-// still holds.
+// restores every fold to the value it had there — from the checkpoint ring
+// when pos is inside its window, by replay otherwise (the two agree: the
+// ring entries a fold's window covers are untouched by newer pushes, so a
+// replay reproduces exactly the inputs the incremental maintenance saw).
+// pos must not be older than what the ring still holds.
 func (h *History) RollTo(pos uint64) {
 	if pos > h.pos {
 		return // nothing newer to forget
@@ -118,7 +147,16 @@ func (h *History) RollTo(pos uint64) {
 	if h.pos-pos > Capacity {
 		pos = h.pos - Capacity
 	}
+	inWindow := h.pos-pos < Capacity && pos > h.ckptFrom
 	h.pos = pos
+	if inWindow {
+		n := len(h.folds)
+		ck := h.ckpt[int(pos&capMask)*n : int(pos&capMask)*n+n]
+		for i := range h.folds {
+			h.folds[i].val = ck[i]
+		}
+		return
+	}
 	for i := range h.folds {
 		h.rebuildFold(i)
 	}
@@ -140,6 +178,44 @@ func (h *History) rebuildFold(i int) {
 		v &= mask
 	}
 	f.val = v
+}
+
+// State is an opaque snapshot of a History (see Snapshot).
+type State struct {
+	bits [Capacity]byte
+	path [Capacity]uint16
+	pos  uint64
+	vals []uint64 // registered folds' current values, in registration order
+}
+
+// Snapshot captures the complete mutable state of the history: the rings,
+// the position, and every registered fold's value. The checkpoint ring is
+// deliberately excluded — Restore invalidates it, and rollbacks past a
+// restored position rebuild by replay, which produces the same values.
+func (h *History) Snapshot() *State {
+	st := &State{pos: h.pos, vals: make([]uint64, len(h.folds))}
+	st.bits = h.bits
+	st.path = h.path
+	for i := range h.folds {
+		st.vals[i] = h.folds[i].val
+	}
+	return st
+}
+
+// Restore reinstates a snapshot taken from a history with the same fold
+// registration sequence (same predictors constructed in the same order).
+// The receiver's fold registrations are kept; only their values change.
+func (h *History) Restore(st *State) {
+	if len(st.vals) != len(h.folds) {
+		panic("ghist: snapshot fold count mismatch")
+	}
+	h.bits = st.bits
+	h.path = st.path
+	h.pos = st.pos
+	for i := range h.folds {
+		h.folds[i].val = st.vals[i]
+	}
+	h.ckptFrom = h.pos // older checkpoints belong to the abandoned timeline
 }
 
 // Bit returns the i-th most recent outcome (i=0 newest). It returns false

@@ -362,6 +362,7 @@ type Session struct {
 	storeHits uint64 // Run lookups served by loading a persisted record
 
 	store *store.Store      // optional persistent tier under the memo (UseStore)
+	snaps *SnapshotCache    // optional warm-state snapshot cache (UseSnapshots)
 	fps   map[string]string // kernel → fingerprint, cached for store keying
 }
 
@@ -522,10 +523,16 @@ func (se *Session) simulate(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	sim := pipeline.New(spec.config(), tr, pred, h)
+	se.mu.Lock()
+	snaps := se.snaps
+	se.mu.Unlock()
 	var st *pipeline.Stats
-	if ctx.Done() == nil {
+	switch {
+	case snaps != nil && se.Warmup > 0:
+		st, err = se.runWithSnapshots(ctx, snaps, spec, sim, uint64(len(tr)))
+	case ctx.Done() == nil:
 		st, err = sim.Run(se.Warmup, se.Measure)
-	} else {
+	default:
 		st, err = se.runCancellable(ctx, sim, uint64(len(tr)))
 	}
 	if err != nil {
@@ -584,6 +591,11 @@ type MemoStats struct {
 	Misses    uint64 `json:"misses"`     // simulations actually started
 
 	Store store.Stats `json:"store"` // attached store's own counters (zero when no store)
+
+	// Snapshots reports the attached warm-state snapshot cache (zero when
+	// none). A snapshot hit is not a memo hit: the simulation still runs,
+	// but skips its warmup phase.
+	Snapshots SnapshotStats `json:"snapshots"`
 }
 
 // MemoStats reports memo and store effectiveness.
@@ -593,6 +605,9 @@ func (se *Session) MemoStats() MemoStats {
 	m := MemoStats{Hits: se.hits, StoreHits: se.storeHits, Misses: se.misses}
 	if se.store != nil {
 		m.Store = se.store.Stats()
+	}
+	if se.snaps != nil {
+		m.Snapshots = se.snaps.Stats()
 	}
 	return m
 }

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"context"
+
+	"repro/internal/pipeline"
+	"testing"
+	"time"
+)
+
+// snapTestSpecs crosses a few predictor families and both recovery modes —
+// enough to exercise every Snapshot/Restore implementation through the
+// session path.
+func snapTestSpecs() []Spec {
+	return []Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "gzip", Predictor: "lvp", Counters: FPC},
+		{Kernel: "gzip", Predictor: "vtage+stride", Counters: FPC, Recovery: pipeline.SelectiveReissue},
+		{Kernel: "mcf", Predictor: "fcm", Counters: BaselineCounters},
+		{Kernel: "mcf", Predictor: "stride", Counters: FPC, Recovery: pipeline.SelectiveReissue},
+	}
+}
+
+// TestSnapshotResumeByteIdentical runs every spec three ways — no cache,
+// cache-miss (publishes), cache-hit (restores) — and requires bit-equal
+// stats from all three.
+func TestSnapshotResumeByteIdentical(t *testing.T) {
+	w, m := uint64(5_000), uint64(15_000)
+	cache := NewSnapshotCache(0)
+
+	for _, spec := range snapTestSpecs() {
+		plain := NewSession(w, m)
+		ref, err := plain.Run(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+
+		cold := NewSession(w, m)
+		cold.UseSnapshots(cache)
+		miss, err := cold.Run(spec)
+		if err != nil {
+			t.Fatalf("%v: cold with cache: %v", spec, err)
+		}
+		if miss.Stats != ref.Stats {
+			t.Errorf("%v: cache-miss run differs from plain run:\n%+v\nvs\n%+v",
+				spec, miss.Stats, ref.Stats)
+		}
+
+		warm := NewSession(w, m)
+		warm.UseSnapshots(cache)
+		hit, err := warm.Run(spec)
+		if err != nil {
+			t.Fatalf("%v: warm with cache: %v", spec, err)
+		}
+		if hit.Stats != ref.Stats {
+			t.Errorf("%v: snapshot-resumed run differs from plain run:\n%+v\nvs\n%+v",
+				spec, hit.Stats, ref.Stats)
+		}
+	}
+
+	st := cache.Stats()
+	if st.Entries != len(snapTestSpecs()) {
+		t.Errorf("cache holds %d snapshots, want %d", st.Entries, len(snapTestSpecs()))
+	}
+	if st.Hits == 0 {
+		t.Error("warm pass recorded no snapshot hits")
+	}
+	if stats := (func() MemoStats {
+		se := NewSession(w, m)
+		se.UseSnapshots(cache)
+		if _, err := se.Run(snapTestSpecs()[0]); err != nil {
+			t.Fatal(err)
+		}
+		return se.MemoStats()
+	})(); stats.Snapshots.Entries == 0 {
+		t.Errorf("MemoStats does not surface snapshot cache stats: %+v", stats)
+	}
+}
+
+// TestSnapshotSharedAcrossMeasureWindows pins the cache key's scope: the
+// snapshot captures the warmup boundary, so a session that measures longer
+// (or shorter) over the same warmup must reuse it — and still match a plain
+// straight-through run of its own windows bit for bit. A different warmup
+// changes the captured state and must miss.
+func TestSnapshotSharedAcrossMeasureWindows(t *testing.T) {
+	const w = uint64(5_000)
+	spec := Spec{Kernel: "gzip", Predictor: "vtage", Counters: FPC}
+	cache := NewSnapshotCache(0)
+
+	warmer := NewSession(w, 10_000)
+	warmer.UseSnapshots(cache)
+	if _, err := warmer.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("warming pass: %+v, want one miss, one entry", st)
+	}
+
+	ref, err := NewSession(w, 25_000).Run(spec) // plain, no cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	resweep := NewSession(w, 25_000) // same warmup, different measure
+	resweep.UseSnapshots(cache)
+	got, err := resweep.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Errorf("re-sweep with a different measure window missed the snapshot: %+v", st)
+	}
+	if got.Stats != ref.Stats {
+		t.Errorf("snapshot-resumed re-sweep differs from plain run:\n%+v\nvs\n%+v",
+			got.Stats, ref.Stats)
+	}
+
+	other := NewSession(2*w, 10_000) // different warmup: different warm state
+	other.UseSnapshots(cache)
+	if _, err := other.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Errorf("different warmup reused a foreign warm state: %+v", st)
+	}
+}
+
+// TestSnapshotResumeCancellable drives the snapshot paths through RunCtx
+// (the chunked cancellable loop) and checks they match the plain result.
+func TestSnapshotResumeCancellable(t *testing.T) {
+	w, m := uint64(5_000), uint64(15_000)
+	spec := Spec{Kernel: "gzip", Predictor: "vtage", Counters: FPC}
+
+	ref, err := NewSession(w, m).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSnapshotCache(0)
+	for pass := 0; pass < 2; pass++ { // miss then hit
+		se := NewSession(w, m)
+		se.UseSnapshots(cache)
+		ctx, cancel := context.WithCancel(context.Background())
+		res, err := se.RunCtx(ctx, spec)
+		cancel()
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if res.Stats != ref.Stats {
+			t.Errorf("pass %d: cancellable snapshot run differs from plain run", pass)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("want exactly 1 hit and 1 miss, got %+v", cache.Stats())
+	}
+}
+
+// TestCancelledRunNeverSnapshots mirrors the memo and store invariants: a
+// run abandoned by cancellation must not publish its warmup state.
+func TestCancelledRunNeverSnapshots(t *testing.T) {
+	se := NewSession(1_000, 2_000_000) // long measure so cancel lands mid-run
+	cache := NewSnapshotCache(0)
+	se.UseSnapshots(cache)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := se.RunCtx(ctx, Spec{Kernel: "gzip", Predictor: "vtage", Counters: FPC})
+	if err == nil {
+		t.Skip("run completed before cancellation on this machine")
+	}
+	if !IsContextErr(err) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if n := cache.Len(); n != 0 {
+		t.Errorf("cancelled run published %d snapshot(s); want none", n)
+	}
+}
+
+// TestSnapshotCacheLRUEviction checks the entry cap holds and evicts the
+// least recently used snapshot.
+func TestSnapshotCacheLRUEviction(t *testing.T) {
+	cache := NewSnapshotCache(2)
+	se := NewSession(2_000, 4_000)
+	se.UseSnapshots(cache)
+	specs := []Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "gzip", Predictor: "lvp", Counters: FPC},
+		{Kernel: "gzip", Predictor: "stride", Counters: FPC},
+	}
+	for _, sp := range specs {
+		if _, err := se.Run(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cache.Len(); n != 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", n)
+	}
+	// The first spec was evicted: running it in a fresh session misses.
+	se2 := NewSession(2_000, 4_000)
+	se2.UseSnapshots(cache)
+	before := cache.Stats().Hits
+	if _, err := se2.Run(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Hits != before {
+		t.Error("evicted snapshot unexpectedly hit")
+	}
+}

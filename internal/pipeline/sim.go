@@ -29,6 +29,12 @@ type robEntry struct {
 	issueCyc int64
 	doneCyc  int64
 
+	// recheckAt is a lower bound on the cycle this entry could next become
+	// issue-eligible (set by readyBound when srcStatus fails); the issue scan
+	// skips the srcStatus walk until then. Purely an iteration filter: it
+	// never affects what issues when.
+	recheckAt int64
+
 	dispatched bool
 	issued     bool
 	done       bool
@@ -153,6 +159,45 @@ type Sim struct {
 	ofeed core.OracleFeed
 	sfeed core.SpecFeeder
 
+	// Devirtualized predictor dispatch (fastloop.go): the concrete type is
+	// resolved once at construction so the per-µop wrappers switch on
+	// predKind and call directly instead of through the interface.
+	predKind predKind
+	lvp      *core.LVP
+	stride   *core.Stride2D
+	fcm      *core.FCM
+	vtage    *core.VTAGE
+	gdiff    *core.GDiff
+	ps       *core.PS
+	hyb      *core.Hybrid
+	orc      *core.Oracle
+	refLoop  bool // reference loop: interface dispatch, no idle skipping
+
+	// Per-step transients feeding maybeSkipIdle (fastloop.go). progress is
+	// set by any stage that changed machine state this cycle; issueBlocked
+	// when issue saw a source-ready µop fail on a resource whose retry has
+	// side effects or unknown timing (MSHR-full loads, width limits);
+	// blockEvent is the earliest unblock cycle of purely-timestamped blocks
+	// (busy dividers); stallCtr points at the dispatch stall counter charged
+	// this cycle; doneActivity when a completion threshold crossed
+	// (writeback processing, commit, or a squash), the only cycles IQ
+	// validation can release on.
+	progress     bool
+	issueBlocked bool
+	blockEvent   int64
+	stallCtr     *uint64
+	doneActivity bool
+
+	// wbMinDone is a lower bound on the earliest doneCyc in waitWB: while it
+	// is in the future the writeback scan is skipped entirely. It only
+	// decreases outside the scan (insert-time min, 0 on squash/restore), so
+	// staleness costs a redundant scan, never a missed one.
+	wbMinDone int64
+
+	// minIssueLat is the smallest execution latency any µop can have under
+	// cfg, used by readyBound for producers that have not issued yet.
+	minIssueLat int64
+
 	warmupUops uint64
 	warmed     bool
 
@@ -215,6 +260,17 @@ func New(cfg Config, trace []isa.DynInst, pred core.Predictor, hist *ghist.Histo
 	if pred != nil {
 		s.ofeed, _ = pred.(core.OracleFeed)
 		s.sfeed, _ = pred.(core.SpecFeeder)
+	}
+	s.resolvePred(pred)
+	s.minIssueLat = cfg.LatALU
+	for _, l := range []int64{cfg.LatMul, cfg.LatDiv, cfg.LatFP, cfg.LatFPMul,
+		cfg.LatFPDiv, cfg.LatForward, 1 /* store addr-gen */, cfg.L1D.Latency} {
+		if l < s.minIssueLat {
+			s.minIssueLat = l
+		}
+	}
+	if s.minIssueLat < 0 {
+		s.minIssueLat = 0
 	}
 	for i := range s.lastProd {
 		s.lastProd[i] = noSlot
@@ -298,6 +354,7 @@ func (s *Sim) advanceTo(total uint64) (*Stats, error) {
 	stuck := int64(0)
 	for s.stats.Committed < total {
 		s.step()
+		s.maybeSkipIdle()
 		if s.stats.Committed == lastCommitted {
 			stuck++
 			if stuck > 1_000_000 {
@@ -315,12 +372,20 @@ func (s *Sim) advanceTo(total uint64) (*Stats, error) {
 // step advances the machine one cycle, processing stages in reverse pipeline
 // order so same-cycle feed-through cannot happen.
 func (s *Sim) step() {
+	s.progress = false
+	s.issueBlocked = false
+	s.blockEvent = noEvent
+	s.stallCtr = nil
+	s.doneActivity = false
 	s.commit()
 	s.writeback()
 	s.issue()
 	s.dispatch()
 	s.fetch()
-	if s.cfg.Recovery == SelectiveReissue {
+	if s.cfg.Recovery == SelectiveReissue && (s.doneActivity || s.refLoop) {
+		// IQ validation can only newly release when a completion threshold
+		// crossed this cycle, which always coincides with writeback
+		// processing, a commit, or a squash (doneActivity).
 		s.releaseValidatedIQ()
 	}
 	s.cycle++
@@ -359,7 +424,7 @@ func (s *Sim) commit() {
 		}
 		valueSquash := false
 		if s.pred != nil && e.vpTried {
-			s.pred.Train(uint64(di.PC), di.Result, &e.meta)
+			s.train(uint64(di.PC), di.Result, &e.meta)
 			if s.warmed {
 				s.stats.Eligible++
 				if e.conf {
@@ -414,6 +479,8 @@ func (s *Sim) commit() {
 		s.head = s.next(s.head)
 		s.count--
 		s.stats.Committed++
+		s.progress = true
+		s.doneActivity = true
 		if s.OnCommit != nil {
 			s.OnCommit(di)
 		}
@@ -443,15 +510,24 @@ func (s *Sim) commit() {
 // It walks only the issued-but-unprocessed worklist (in age order), not the
 // whole ROB.
 func (s *Sim) writeback() {
+	if !s.refLoop && s.wbMinDone > s.cycle {
+		return // nothing in waitWB can have completed yet
+	}
+	newMin := noEvent
 	nxt := listEnd
 	for slot := s.waitWB.head; slot != listEnd; slot = nxt {
 		nxt = s.waitWB.next[slot]
 		e := s.entry(slot)
 		if e.doneCyc > s.cycle {
+			if e.doneCyc < newMin {
+				newMin = e.doneCyc
+			}
 			continue // still executing
 		}
 		e.wbDone = true
 		s.waitWB.remove(slot)
+		s.progress = true
+		s.doneActivity = true
 		di := s.di(e.ti)
 
 		// Branch resolution: redirect the stalled front-end.
@@ -488,8 +564,10 @@ func (s *Sim) writeback() {
 			// already-processed prefix is gone from the list, so the rescan
 			// visits exactly the remaining entries in the same age order.
 			nxt = s.waitWB.head
+			newMin = noEvent // restart the min over the rescanned list
 		}
 	}
+	s.wbMinDone = newMin
 }
 
 // findViolatingLoad returns the oldest load younger than the store at slot
@@ -575,8 +653,14 @@ func (s *Sim) issue() {
 	for slot := s.waitIssue.head; slot != listEnd && issued < s.cfg.IssueWidth; slot = nxt {
 		nxt = s.waitIssue.next[slot]
 		e := s.entry(slot)
+		if !s.refLoop && e.recheckAt > s.cycle {
+			continue // sources provably unavailable until then
+		}
 		ready, spec1, spec2 := s.srcStatus(e)
 		if !ready {
+			if !s.refLoop {
+				e.recheckAt = s.readyBound(e)
+			}
 			continue
 		}
 		di := s.di(e.ti)
@@ -585,17 +669,20 @@ func (s *Sim) issue() {
 		case isa.ClassNop, isa.ClassHalt:
 			lat = s.cfg.LatALU
 			if aluUsed >= s.cfg.ALUs {
+				s.issueBlocked = true
 				continue
 			}
 			aluUsed++
 		case isa.ClassIntAlu, isa.ClassBranch, isa.ClassJump, isa.ClassJumpInd, isa.ClassCall, isa.ClassRet:
 			if aluUsed >= s.cfg.ALUs {
+				s.issueBlocked = true
 				continue
 			}
 			aluUsed++
 			lat = s.cfg.LatALU
 		case isa.ClassIntMul:
 			if mulUsed >= s.cfg.MulDivs {
+				s.issueBlocked = true
 				continue
 			}
 			mulUsed++
@@ -603,18 +690,21 @@ func (s *Sim) issue() {
 		case isa.ClassIntDiv:
 			u := freeUnit(s.divFree, s.cycle)
 			if u < 0 {
+				s.blockUnitEvent(s.divFree)
 				continue
 			}
 			s.divFree[u] = s.cycle + s.cfg.LatDiv
 			lat = s.cfg.LatDiv
 		case isa.ClassFPAlu:
 			if fpUsed >= s.cfg.FPUs {
+				s.issueBlocked = true
 				continue
 			}
 			fpUsed++
 			lat = s.cfg.LatFP
 		case isa.ClassFPMul:
 			if fpMulUsed >= s.cfg.FPMulDivs {
+				s.issueBlocked = true
 				continue
 			}
 			fpMulUsed++
@@ -622,22 +712,25 @@ func (s *Sim) issue() {
 		case isa.ClassFPDiv:
 			u := freeUnit(s.fpDivFree, s.cycle)
 			if u < 0 {
+				s.blockUnitEvent(s.fpDivFree)
 				continue
 			}
 			s.fpDivFree[u] = s.cycle + s.cfg.LatFPDiv
 			lat = s.cfg.LatFPDiv
 		case isa.ClassLoad:
 			if memUsed >= s.cfg.MemPorts {
+				s.issueBlocked = true
 				continue
 			}
 			l, ok := s.loadLatency(slot, e)
 			if !ok {
-				continue // blocked on disambiguation or MSHRs: retry
+				continue // blocked load: loadLatency flags impure retries itself
 			}
 			memUsed++
 			lat = l
 		case isa.ClassStore:
 			if memUsed >= s.cfg.MemPorts {
+				s.issueBlocked = true
 				continue
 			}
 			memUsed++
@@ -645,11 +738,15 @@ func (s *Sim) issue() {
 		}
 
 		e.issued = true
+		s.progress = true
 		e.issueCyc = s.cycle
 		e.doneCyc = s.cycle + lat
 		e.done = true // completion is timestamped; effects apply at doneCyc
 		s.waitIssue.remove(slot)
 		s.insertByAge(&s.waitWB, slot)
+		if e.doneCyc < s.wbMinDone {
+			s.wbMinDone = e.doneCyc
+		}
 		// Record prediction consumption for each source satisfied by a
 		// not-yet-validated predicted value (folded out of srcStatus).
 		if spec1 {
@@ -678,6 +775,18 @@ func freeUnit(units []int64, now int64) int {
 		}
 	}
 	return -1
+}
+
+// blockUnitEvent records the earliest cycle a fully-busy divider pool frees
+// as an idle-skip event. The busy check is pure and every free time was
+// fixed at issue (all strictly in the future when freeUnit fails), so the
+// blocked µop's retries until then are exact no-ops.
+func (s *Sim) blockUnitEvent(units []int64) {
+	for _, t := range units {
+		if t < s.blockEvent {
+			s.blockEvent = t
+		}
+	}
 }
 
 // srcStatus reports whether both sources of e are available this cycle —
@@ -710,12 +819,43 @@ func (s *Sim) srcStatus(e *robEntry) (ready, spec1, spec2 bool) {
 	return true, spec1, spec2
 }
 
+// readyBound returns a safe lower bound on the cycle e could next become
+// issue-eligible, derived from its first unavailable producer: a producer
+// with a timestamped completion delivers at doneCyc; one that has not even
+// issued cannot deliver before it issues next cycle plus the smallest
+// execution latency. Reissue only pushes producer completions later, so a
+// bound computed before a replay remains a lower bound.
+func (s *Sim) readyBound(e *robEntry) int64 {
+	if e.dep1 != noSlot {
+		p := &s.rob[e.dep1]
+		if p.seq == e.dep1Seq && !p.conf && !(p.done && p.doneCyc <= s.cycle) {
+			if p.done {
+				return p.doneCyc
+			}
+			return s.cycle + 1 + s.minIssueLat
+		}
+	}
+	if e.dep2 != noSlot {
+		p := &s.rob[e.dep2]
+		if p.seq == e.dep2Seq && !p.conf && !(p.done && p.doneCyc <= s.cycle) {
+			if p.done {
+				return p.doneCyc
+			}
+			return s.cycle + 1 + s.minIssueLat
+		}
+	}
+	return s.cycle + 1
+}
+
 // loadLatency resolves a load at issue time: store-set blocking, LSQ
 // forwarding, then the cache hierarchy. ok=false means "cannot issue now".
 func (s *Sim) loadLatency(slot int, e *robEntry) (int64, bool) {
 	di := s.di(e.ti)
 
-	// Store-set discipline: wait for the predicted-conflicting store.
+	// Store-set discipline: wait for the predicted-conflicting store. This
+	// reject happens before any cache access, so the retry is pure; the
+	// unblock (the store's doneCyc crossing) is already an idle-skip event
+	// via waitWB, so it need not pin issueBlocked.
 	if e.hasDepStore {
 		if ps := s.findInFlightStore(e.depStoreSeq); ps != noSlot {
 			p := s.entry(ps)
@@ -744,6 +884,10 @@ func (s *Sim) loadLatency(slot int, e *robEntry) (int64, bool) {
 
 	done, ok := s.l1d.Access(s.cycle, di.Addr, uint64(di.PC), false, true)
 	if !ok {
+		// The rejected probe counted an MSHR stall and fed the prefetcher:
+		// the retry itself has architectural side effects, so idle-skip must
+		// keep stepping every cycle while this load is blocked.
+		s.issueBlocked = true
 		return 0, false
 	}
 	return done - s.cycle, true
@@ -782,6 +926,7 @@ func (s *Sim) releaseValidatedIQ() {
 			e.inIQ = false
 			s.iqUsed--
 			s.iqHeld.remove(slot)
+			s.progress = true
 		}
 	}
 }
@@ -893,6 +1038,7 @@ func (s *Sim) dispatch() {
 
 		s.tail = s.next(s.tail)
 		s.count++
+		s.progress = true
 		if s.feqHead++; s.feqHead == len(s.feq) {
 			s.feqHead = 0
 		}
@@ -901,6 +1047,7 @@ func (s *Sim) dispatch() {
 }
 
 func (s *Sim) stall(counter *uint64) {
+	s.stallCtr = counter
 	if s.warmed {
 		*counter++
 	}
@@ -972,10 +1119,8 @@ func (s *Sim) fetch() {
 		// a register (Section 7.2).
 		if s.pred != nil && di.HasDest() && (!s.cfg.PredictLoadsOnly || isa.IsLoad(di.Op)) {
 			fe.vpTried = true
-			if s.ofeed != nil {
-				s.ofeed.FeedActual(di.Result)
-			}
-			s.pred.Predict(uint64(di.PC), &fe.meta)
+			s.feedActual(di.Result)
+			s.predict(uint64(di.PC), &fe.meta)
 			fe.meta.Seq = di.Seq
 			fe.conf = fe.meta.Conf
 			fe.predWrong = fe.conf && fe.meta.Pred != di.Result
@@ -987,9 +1132,7 @@ func (s *Sim) fetch() {
 			// cycles"). The trace-driven equivalent feeds the occurrence's
 			// actual outcome, which a real machine approximates through
 			// execution-time repair of the speculative window.
-			if s.sfeed != nil {
-				s.sfeed.FeedSpec(uint64(di.PC), di.Result, di.Seq)
-			}
+			s.feedSpec(uint64(di.PC), di.Result, di.Seq)
 		}
 
 		// Back-to-back statistic (Section 3.2).
@@ -1010,6 +1153,7 @@ func (s *Sim) fetch() {
 
 		s.feqLen++
 		s.fetchIdx++
+		s.progress = true
 		if stop {
 			return
 		}
@@ -1164,12 +1308,14 @@ func (s *Sim) squashFromAge(fromAge int, resumeTI int, resumeCyc int64) {
 		}
 	}
 	if s.pred != nil {
-		s.pred.Squash(s.seqAt(resumeTI))
+		s.squashPred(s.seqAt(resumeTI))
 	}
 
 	s.fetchIdx = resumeTI
 	s.nextFetchCyc = resumeCyc
 	s.fetchBlocked = false
+	s.wbMinDone = 0 // worklists changed mid-scan: force a fresh walk
+	s.doneActivity = true
 }
 
 // seqAt returns the sequence number of the µop at trace index ti, or one

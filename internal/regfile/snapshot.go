@@ -1,0 +1,17 @@
+package regfile
+
+// State is a snapshot of both register files' occupancy.
+type State struct {
+	intFree, fpFree int
+}
+
+// Snapshot captures the free counts.
+func (fs *Files) Snapshot() State {
+	return State{intFree: fs.Int.free, fpFree: fs.FP.free}
+}
+
+// Restore reinstates a snapshot.
+func (fs *Files) Restore(st State) {
+	fs.Int.free = st.intFree
+	fs.FP.free = st.fpFree
+}

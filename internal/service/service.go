@@ -571,6 +571,8 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Unlock()
 	out := ServerStats{
 		Workers:       s.opts.Workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		BusyWorkers:   int(s.sched.busy.Load()),
 		QueuedTasks:   int(s.sched.queued.Load()),
 		Coalesced:     s.sched.coalesced.Load(),

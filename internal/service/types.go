@@ -186,11 +186,15 @@ type StoreStats struct {
 
 // ServerStats is the body of GET /v1/statsz: scheduler load, the shared
 // session's memo/store effectiveness, and the job population by state.
+// Workers is the scheduler pool size; GOMAXPROCS and NumCPU put it in
+// context — min of the three is the parallelism the pool can really get.
 // MemoMisses counts simulations actually started; a result loaded from the
 // persistent store is a MemoStoreHit, not a miss, so "memo_misses == 0"
 // across a run is the warm-start success criterion.
 type ServerStats struct {
 	Workers       int            `json:"workers"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	NumCPU        int            `json:"num_cpu"`
 	BusyWorkers   int            `json:"busy_workers"`
 	QueuedTasks   int            `json:"queued_tasks"`
 	Coalesced     uint64         `json:"coalesced_tasks"`
