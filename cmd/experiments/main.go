@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
 	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
+	traceLog := fs.String("trace-log", "", "append one NDJSON span per run lifecycle stage to this file (empty: off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -80,17 +81,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
+	opts := repro.RunnerOptions{
+		Warmup: *warmup, Measure: *measure, Workers: *workers, StoreDir: *storeDir,
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		opts.TraceWriter = f
+	}
+
 	var runner repro.Runner
 	if *server != "" {
 		if *storeDir != "" {
 			fmt.Fprintln(stderr, "experiments: -store-dir applies to in-process runs; a -server daemon's store is set by vpserved -store-dir")
 			return 2
 		}
-		runner = repro.NewRemoteRunner(*server)
+		// Remote runs trace dispatch spans only; the daemon traces
+		// simulation stages via vpserved -trace-log.
+		runner = repro.OpenRemoteRunner(*server, repro.RunnerOptions{TraceWriter: opts.TraceWriter})
 	} else {
-		local, err := repro.OpenLocalRunner(repro.RunnerOptions{
-			Warmup: *warmup, Measure: *measure, Workers: *workers, StoreDir: *storeDir,
-		})
+		local, err := repro.OpenLocalRunner(opts)
 		if err != nil {
 			return fail(err)
 		}

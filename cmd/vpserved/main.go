@@ -9,10 +9,13 @@
 //	vpserved -addr 127.0.0.1:0 -addr-file a   # random port, written to a
 //	vpserved -workers 8 -max-jobs 128         # sizing
 //	vpserved -store-dir /var/cache/vpsim      # results survive restarts
+//	vpserved -log-format json                 # structured access/ops logs
+//	vpserved -trace-log run.ndjson -pprof     # run tracing + profiling
 //
 // Try it:
 //
 //	curl -s localhost:8437/v1/healthz
+//	curl -s localhost:8437/metrics                       # Prometheus text
 //	curl -s -X POST localhost:8437/v1/simulate \
 //	     -d '{"kernel":"art","predictor":"vtage","counters":"fpc"}'
 //	curl -s -X POST localhost:8437/v1/experiments/fig4   # -> {"id":"j000001",...}
@@ -25,9 +28,11 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -50,11 +55,18 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max specs per batch or experiment (0: server default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "synchronous /v1/simulate budget (0: server default)")
 	storeDir := flag.String("store-dir", "", "persistent record store directory shared across restarts and processes (empty: memory-only)")
+	snapshotCap := flag.Int("snapshot-cap", 0, "warm-state snapshot cache entries (0: default cap, negative: disabled)")
+	traceLog := flag.String("trace-log", "", "append one NDJSON span per simulation lifecycle stage to this file (empty: off)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (same listener)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "graceful shutdown budget")
 	flag.Parse()
 
-	log.SetPrefix("vpserved: ")
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		slog.Error("vpserved", "err", err)
+		os.Exit(2)
+	}
 
 	opts := repro.ServerOptions{
 		Warmup:         *warmup,
@@ -64,36 +76,68 @@ func main() {
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *reqTimeout,
 		StoreDir:       *storeDir,
+		SnapshotCap:    *snapshotCap,
 	}.WithDefaults()
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("open trace log", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.TraceWriter = f
+		logger.Info("run tracing on", "trace_log", *traceLog)
+	}
 	svc, err := repro.NewServer(opts)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("start", "err", err)
+		os.Exit(1)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
-			log.Fatal(err)
+			logger.Error("write addr-file", "path", *addrFile, "err", err)
+			os.Exit(1)
 		}
 	}
 	if opts.StoreDir != "" {
-		log.Printf("persistent store: %s", opts.StoreDir)
+		logger.Info("persistent store attached", "dir", opts.StoreDir)
 	}
 	// opts passed through WithDefaults, so Workers here is the effective
 	// pool size even when -workers 0 asked for the default. GOMAXPROCS and
 	// NumCPU alongside it say how much of that pool can actually run at
 	// once — a 16-worker pool on GOMAXPROCS=1 is concurrency, not parallelism.
-	log.Printf("worker pool: %d workers (GOMAXPROCS=%d, NumCPU=%d)",
-		opts.Workers, runtime.GOMAXPROCS(0), runtime.NumCPU())
-	log.Printf("listening on %s (workers=%d warmup=%d measure=%d)",
-		bound, opts.Workers, opts.Warmup, opts.Measure)
+	logger.Info("listening",
+		"addr", bound,
+		"workers", opts.Workers,
+		"gomaxprocs", runtime.GOMAXPROCS(0),
+		"num_cpu", runtime.NumCPU(),
+		"warmup_uops", opts.Warmup,
+		"measure_uops", opts.Measure)
+
+	var handler http.Handler = svc
+	if *pprofOn {
+		// The service handler keeps everything under /v1 (plus /metrics), so
+		// mounting pprof beside it cannot shadow an API route.
+		mux := http.NewServeMux()
+		mux.Handle("/", svc)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof on", "prefix", "/debug/pprof/")
+	}
 
 	httpSrv := &http.Server{
-		Handler: logRequests(svc),
+		Handler: logRequests(logger, handler),
 		// No WriteTimeout: /v1/jobs/{id}/stream stays open for the job's
 		// lifetime; per-request budgets are enforced by the service layer.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -105,9 +149,10 @@ func main() {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case s := <-sig:
-		log.Printf("received %s; draining", s)
+		logger.Info("draining", "signal", s.String())
 	case err := <-serveErr:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -115,11 +160,11 @@ func main() {
 	clean := true
 	if err := svc.Drain(ctx); err != nil {
 		clean = false
-		log.Printf("drain: %v (cancelling remaining jobs)", err)
+		logger.Warn("drain interrupted; cancelling remaining jobs", "err", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		clean = false
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	// Close cancels whatever Drain left behind; renders and simulations are
 	// all context-driven (DESIGN.md §6.2), so this settles within one
@@ -131,21 +176,35 @@ func main() {
 	case err := <-closed:
 		if err != nil {
 			clean = false
-			log.Printf("close: %v", err)
+			logger.Error("close", "err", err)
 		}
 	case <-time.After(*drainTimeout):
 		clean = false
-		log.Printf("close: timed out after %s with work still in flight", *drainTimeout)
+		logger.Error("close timed out with work still in flight", "budget", drainTimeout.String())
 	}
 	if !clean {
-		log.Printf("shutdown finished with errors")
+		logger.Error("shutdown finished with errors")
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }
 
-// logRequests is a minimal access log: method, path, status, duration.
-func logRequests(next http.Handler) http.Handler {
+// newLogger builds the process logger on stderr in the requested format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (have text, json)", format)
+	}
+}
+
+// logRequests is the structured access log: one line per request with
+// method, path, status, response bytes, and duration. Streaming endpoints
+// log when the stream ends, with the full body size.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -153,18 +212,36 @@ func logRequests(next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr)
 	})
 }
 
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if w.status == 0 {
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush keeps streaming endpoints working through the logging wrapper.

@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
 	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
 	list := fs.Bool("list", false, "list kernels and exit")
+	traceLog := fs.String("trace-log", "", "append one NDJSON span per run lifecycle stage to this file (empty: off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile after the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -170,14 +171,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	opts := repro.RunnerOptions{
+		Warmup: *warmup, Measure: *measure, Workers: *workers, StoreDir: *storeDir,
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		opts.TraceWriter = f
+	}
+
 	var runner repro.Runner
 	if *server != "" {
 		// Remote windows are the daemon's; the flags size local runs only.
-		runner = repro.NewRemoteRunner(*server)
+		// The trace writer still applies: a remote runner traces its
+		// dispatch spans (the daemon traces simulation stages via
+		// vpserved -trace-log).
+		runner = repro.OpenRemoteRunner(*server, repro.RunnerOptions{TraceWriter: opts.TraceWriter})
 	} else {
-		local, err := repro.OpenLocalRunner(repro.RunnerOptions{
-			Warmup: *warmup, Measure: *measure, Workers: *workers, StoreDir: *storeDir,
-		})
+		local, err := repro.OpenLocalRunner(opts)
 		if err != nil {
 			return fail(err)
 		}

@@ -19,12 +19,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/ghist"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/store"
 )
@@ -364,6 +367,8 @@ type Session struct {
 	store *store.Store      // optional persistent tier under the memo (UseStore)
 	snaps *SnapshotCache    // optional warm-state snapshot cache (UseSnapshots)
 	fps   map[string]string // kernel → fingerprint, cached for store keying
+
+	obs atomic.Pointer[Observer] // optional metrics + run tracing (Observe)
 }
 
 // NewSession builds a session with the given measurement window, standing in
@@ -438,6 +443,11 @@ func IsContextErr(err error) bool {
 // configurations share one memo entry no matter how the caller spelled them.
 func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 	spec = spec.Canonical()
+	o := se.observer()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	counted := false
 	for {
 		se.mu.Lock()
@@ -454,6 +464,7 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 				return nil, ctx.Err()
 			}
 			if c.err == nil || !IsContextErr(c.err) {
+				o.countMemo(true, 1) // served from an in-process entry
 				return c.res, c.err
 			}
 			// The owner abandoned this entry (and deleted it). Retry under
@@ -476,14 +487,25 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 		st := se.store
 		se.mu.Unlock()
 
+		// This lookup took ownership: a memo miss, and the start of one
+		// run's trace span-set (admit → tier lookups → phases → publish).
+		rt := o.beginRun(spec, start)
+
 		// Read-through: a populated store turns this would-be miss into a
 		// disk load. Waiters parked on c still count as plain memo hits.
 		if st != nil {
-			if res, ok := se.storeLoad(st, spec); ok {
+			t0 := time.Now()
+			res, ok := se.storeLoad(st, spec)
+			rt.lookup(obs.StageStore, obs.TierStore, ok, time.Since(t0))
+			o.countStore(ok)
+			if ok {
 				se.mu.Lock()
 				se.storeHits++
 				se.mu.Unlock()
 				c.res = res
+				// The disk record is promoted into the memo; no simulation
+				// phases ran, so the span-set goes straight to publish.
+				rt.span(obs.StagePublish, obs.TierMemo, "", 0, nil)
 				close(c.done)
 				return c.res, nil
 			}
@@ -492,15 +514,20 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 		se.misses++
 		se.mu.Unlock()
 
-		c.res, c.err = se.simulate(ctx, spec)
+		c.res, c.err = se.simulate(ctx, spec, rt)
 		if c.err != nil && IsContextErr(c.err) {
 			se.mu.Lock()
 			delete(se.memo, spec)
 			se.mu.Unlock()
+			// Abandoned: the entry is gone, nothing was published.
 		} else if c.err == nil && st != nil {
 			// Write-behind: persist only clean successes — cancellations and
 			// errors are never stored, mirroring the memo invariant.
+			t0 := time.Now()
 			se.storeSave(st, spec, c.res)
+			rt.span(obs.StagePublish, obs.TierStore, "", time.Since(t0), nil)
+		} else {
+			rt.span(obs.StagePublish, obs.TierMemo, "", 0, c.err)
 		}
 		close(c.done)
 		return c.res, c.err
@@ -509,7 +536,7 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 
 // simulate performs one uncached run. The trace lookup is itself
 // singleflighted, so concurrent first runs of one kernel build its trace once.
-func (se *Session) simulate(ctx context.Context, spec Spec) (*Result, error) {
+func (se *Session) simulate(ctx context.Context, spec Spec, rt *runRec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -526,14 +553,16 @@ func (se *Session) simulate(ctx context.Context, spec Spec) (*Result, error) {
 	se.mu.Lock()
 	snaps := se.snaps
 	se.mu.Unlock()
+	rt.countSimulation()
 	var st *pipeline.Stats
 	switch {
 	case snaps != nil && se.Warmup > 0:
-		st, err = se.runWithSnapshots(ctx, snaps, spec, sim, uint64(len(tr)))
-	case ctx.Done() == nil:
+		st, err = se.runWithSnapshots(ctx, snaps, spec, sim, uint64(len(tr)), rt)
+	case rt == nil && ctx.Done() == nil:
+		// Unobserved, uncancellable fast path: one Run call, no phase split.
 		st, err = sim.Run(se.Warmup, se.Measure)
 	default:
-		st, err = se.runCancellable(ctx, sim, uint64(len(tr)))
+		st, err = se.runCancellable(ctx, sim, uint64(len(tr)), rt)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%s/%s: %w",
@@ -553,8 +582,9 @@ const cancelChunk = 25_000
 // is state-neutral, so chunking changes nothing but the cancellation
 // latency. The warmup window runs in one piece (Run must set the
 // measurement boundary itself); cancellation granularity during measurement
-// is cancelChunk µops.
-func (se *Session) runCancellable(ctx context.Context, sim *pipeline.Sim, traceLen uint64) (*pipeline.Stats, error) {
+// is cancelChunk µops. Observed runs (rt != nil) reuse the same split to
+// time the two phases separately without perturbing the records.
+func (se *Session) runCancellable(ctx context.Context, sim *pipeline.Sim, traceLen uint64, rt *runRec) (*pipeline.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -562,10 +592,13 @@ func (se *Session) runCancellable(ctx context.Context, sim *pipeline.Sim, traceL
 	if total > traceLen {
 		total = traceLen
 	}
+	t0 := time.Now()
 	st, err := sim.Run(se.Warmup, 0)
 	if err != nil {
 		return nil, err
 	}
+	rt.phase(obs.StageWarmup, obs.TierSimulated, time.Since(t0))
+	t0 = time.Now()
 	for st.Committed < total {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -578,6 +611,7 @@ func (se *Session) runCancellable(ctx context.Context, sim *pipeline.Sim, traceL
 			return nil, err
 		}
 	}
+	rt.phase(obs.StageMeasure, obs.TierSimulated, time.Since(t0))
 	return st, nil
 }
 
@@ -621,6 +655,7 @@ func (se *Session) CountCoalescedHits(n uint64) {
 	se.mu.Lock()
 	se.hits += n
 	se.mu.Unlock()
+	se.observer().countMemo(true, n)
 }
 
 // Speedup returns the ratio of the spec's IPC to the baseline (no-VP)

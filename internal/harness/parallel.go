@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // RunAll simulates every spec across a pool of worker goroutines and returns
@@ -32,6 +33,13 @@ func (se *Session) RunAllCtx(ctx context.Context, specs []Spec, workers int) ([]
 	if len(specs) == 0 {
 		return results, nil
 	}
+	// Queue wait = submission to worker pickup; observed per spec so the
+	// histogram shows how long the tail of a batch sits behind the pool.
+	o := se.observer()
+	var submitted time.Time
+	if o != nil {
+		submitted = time.Now()
+	}
 	errs := make([]error, len(specs))
 	if workers <= 1 {
 		for i, s := range specs {
@@ -39,6 +47,7 @@ func (se *Session) RunAllCtx(ctx context.Context, specs []Spec, workers int) ([]
 				errs[i] = err
 				continue
 			}
+			o.observeQueueWait(sinceSubmitted(submitted))
 			results[i], errs[i] = se.RunCtx(ctx, s)
 		}
 		return results, firstError(errs)
@@ -51,6 +60,7 @@ func (se *Session) RunAllCtx(ctx context.Context, specs []Spec, workers int) ([]
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				o.observeQueueWait(sinceSubmitted(submitted))
 				results[i], errs[i] = se.RunCtx(ctx, specs[i])
 			}
 		}()
@@ -106,6 +116,16 @@ func (se *Session) Prepare(ctx context.Context, e Experiment, workers int) error
 	}
 	_, err := se.RunAllCtx(ctx, e.Specs(), workers)
 	return err
+}
+
+// sinceSubmitted guards the queue-wait measurement against an unobserved
+// batch (zero submission time → zero wait, and observeQueueWait no-ops on
+// the nil observer anyway).
+func sinceSubmitted(submitted time.Time) time.Duration {
+	if submitted.IsZero() {
+		return 0
+	}
+	return time.Since(submitted)
 }
 
 // firstError returns the earliest non-nil error, keeping failure reporting

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/store"
 )
@@ -132,15 +134,15 @@ func (se *Session) Snapshots() *SnapshotCache {
 // state the straight Run(Warmup, Measure) would: Restore reinstates every
 // bit of mutable state, Advance targets absolute commit counts, and pausing
 // between cycles is state-neutral.
-func (se *Session) runWithSnapshots(ctx context.Context, snaps *SnapshotCache, spec Spec, sim *pipeline.Sim, traceLen uint64) (*pipeline.Stats, error) {
+func (se *Session) runWithSnapshots(ctx context.Context, snaps *SnapshotCache, spec Spec, sim *pipeline.Sim, traceLen uint64, rt *runRec) (*pipeline.Stats, error) {
 	key, ok := se.snapKey(spec)
 	if !ok {
 		// Unkeyable (unknown kernel): fall through to the plain paths, which
 		// surface the real error.
-		if ctx.Done() == nil {
+		if rt == nil && ctx.Done() == nil {
 			return sim.Run(se.Warmup, se.Measure)
 		}
-		return se.runCancellable(ctx, sim, traceLen)
+		return se.runCancellable(ctx, sim, traceLen, rt)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -150,22 +152,42 @@ func (se *Session) runWithSnapshots(ctx context.Context, snaps *SnapshotCache, s
 		total = traceLen
 	}
 
-	if snap := snaps.get(key); snap != nil {
+	t0 := time.Now()
+	snap := snaps.get(key)
+	hit := snap != nil
+	rt.lookup(obs.StageSnapshot, obs.TierSnapshot, hit, time.Since(t0))
+	if rt != nil {
+		rt.o.countSnapshot(hit)
+	}
+	if hit {
+		t0 = time.Now()
 		sim.Restore(snap)
-		return se.advanceChunked(ctx, sim, total)
+		// A restored warmup: the phase happened, it just cost a Restore.
+		rt.phase(obs.StageWarmup, obs.TierSnapshot, time.Since(t0))
+		t0 = time.Now()
+		st, err := se.advanceChunked(ctx, sim, total)
+		if err != nil {
+			return nil, err
+		}
+		rt.phase(obs.StageMeasure, obs.TierSimulated, time.Since(t0))
+		return st, nil
 	}
 
+	t0 = time.Now()
 	st, err := sim.Run(se.Warmup, 0)
 	if err != nil {
 		return nil, err
 	}
-	snap := sim.Snapshot()
+	newSnap := sim.Snapshot()
+	rt.phase(obs.StageWarmup, obs.TierSimulated, time.Since(t0))
+	t0 = time.Now()
 	if st.Committed < total {
 		if st, err = se.advanceChunked(ctx, sim, total); err != nil {
 			return nil, err // cancelled or deadlocked: never snapshot
 		}
 	}
-	snaps.put(key, snap)
+	rt.phase(obs.StageMeasure, obs.TierSimulated, time.Since(t0))
+	snaps.put(key, newSnap)
 	return st, nil
 }
 

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each emitted
+// exactly once with its # HELP and # TYPE lines, children sorted by label
+// values. Histograms expose cumulative le-buckets plus _sum and _count.
+// The snapshot is per-instrument atomic, not cross-metric consistent —
+// counters keep moving while the page renders, which is the Prometheus
+// contract anyway.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the exposition over HTTP (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// write renders one family: header lines, then every child in sorted label
+// order.
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	children := make([]child, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return // nothing to expose until a child exists
+	}
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, c := range children {
+		switch m := c.metric.(type) {
+		case *Counter:
+			writeSample(b, f.name, "", f.labels, c.labelValues, "", "", formatUint(m.Value()))
+		case *Gauge:
+			writeSample(b, f.name, "", f.labels, c.labelValues, "", "", formatFloat(m.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				writeSample(b, f.name, "_bucket", f.labels, c.labelValues, "le", formatFloat(bound), formatUint(cum))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			writeSample(b, f.name, "_bucket", f.labels, c.labelValues, "le", "+Inf", formatUint(cum))
+			writeSample(b, f.name, "_sum", f.labels, c.labelValues, "", "", formatFloat(m.Sum()))
+			writeSample(b, f.name, "_count", f.labels, c.labelValues, "", "", formatUint(m.Count()))
+		}
+	}
+}
+
+// writeSample renders one sample line. extraName/extraValue append one more
+// label (the histogram's le) after the family's own labels.
+func writeSample(b *strings.Builder, name, suffix string, labels, values []string, extraName, extraValue, sample string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraValue))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(sample)
+	b.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are legal
+// in help text).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

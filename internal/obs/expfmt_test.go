@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition byte-for-byte: family ordering
+// (sorted by name, regardless of registration order), label-value ordering
+// within a family, histogram cumulative buckets with the implicit +Inf,
+// and label-value escaping. CI's scrape gate asserts this format stays
+// well-formed; this test asserts it stays exactly this.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	// Registered deliberately out of name order.
+	g := r.Gauge("zz_inflight", "requests in flight")
+	g.Set(3)
+
+	cv := r.CounterVec("repro_cache_lookups_total", "cache lookups by tier", "tier", "result")
+	cv.With("store", "miss").Add(7)
+	cv.With("memo", "hit").Add(12)
+
+	h := r.Histogram("aa_latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	esc := r.CounterVec("esc_total", `help with \ backslash`, "path")
+	esc.With("a\"b\\c\nd").Inc()
+
+	const want = `# HELP aa_latency_seconds request latency
+# TYPE aa_latency_seconds histogram
+aa_latency_seconds_bucket{le="0.01"} 1
+aa_latency_seconds_bucket{le="0.1"} 2
+aa_latency_seconds_bucket{le="1"} 3
+aa_latency_seconds_bucket{le="+Inf"} 4
+aa_latency_seconds_sum 5.555
+aa_latency_seconds_count 4
+# HELP esc_total help with \\ backslash
+# TYPE esc_total counter
+esc_total{path="a\"b\\c\nd"} 1
+# HELP repro_cache_lookups_total cache lookups by tier
+# TYPE repro_cache_lookups_total counter
+repro_cache_lookups_total{tier="memo",result="hit"} 12
+repro_cache_lookups_total{tier="store",result="miss"} 7
+# HELP zz_inflight requests in flight
+# TYPE zz_inflight gauge
+zz_inflight 3
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestNoDuplicateFamilies scrapes a populated registry and asserts each
+// family name appears in exactly one # TYPE line — the same well-formedness
+// gate CI applies to a live /metrics page.
+func TestNoDuplicateFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	r.CounterVec("b_total", "b", "l").With("x").Inc()
+	r.CounterVec("b_total", "b", "l").With("y").Inc()
+	r.Histogram("c_seconds", "c", nil).Observe(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	seen := map[string]int{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			seen[fields[2]]++
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("family %s exposed %d times", name, n)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("exposed %d families, want 3", len(seen))
+	}
+}
+
+// TestEmptyFamilyHidden verifies a vec with no children yet emits nothing
+// (a header with no samples is useless scrape noise).
+func TestEmptyFamilyHidden(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("never_used_total", "no children", "l")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty registry exposed %q", sb.String())
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeHistogramValues pins the basic instrument semantics.
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("histogram count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-105.65) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 105.65", got)
+	}
+	// Bucket placement: le="0.1" is inclusive, so 0.1 lands there; 100
+	// lands in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// TestRegistrationIdempotent verifies that re-registering the same family
+// returns the same instrument, and that vec children are stable.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Error("re-registered counter is a different instrument")
+	}
+	v1 := r.CounterVec("y_total", "help", "tier")
+	v2 := r.CounterVec("y_total", "help", "tier")
+	if v1.With("memo") != v2.With("memo") {
+		t.Error("vec child differs across re-registration")
+	}
+	if v1.With("memo") == v1.With("store") {
+		t.Error("distinct label values share a child")
+	}
+}
+
+// TestRegistrationConflictPanics verifies a changed signature is rejected.
+func TestRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("z_total", "help")
+}
+
+// TestConcurrentUpdatesAndExposition hammers every instrument type from
+// many goroutines while the exposition renders concurrently — the
+// race-mode guarantee the serving stack depends on (metrics are updated on
+// hot paths while /metrics scrapes).
+func TestConcurrentUpdatesAndExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "hits")
+	cv := r.CounterVec("lookups_total", "lookups", "tier", "result")
+	g := r.Gauge("inflight", "in-flight")
+	h := r.HistogramVec("latency_seconds", "latency", nil, "endpoint")
+
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tier := "memo"
+			if id%2 == 1 {
+				tier = "store"
+			}
+			lk := cv.With(tier, "hit")
+			la := h.With("simulate")
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				lk.Inc()
+				g.Inc()
+				la.Observe(float64(j) * 1e-6)
+				g.Dec()
+			}
+		}(i)
+	}
+	// Scrape concurrently with the updates.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := cv.With("memo", "hit").Value() + cv.With("store", "hit").Value(); got != goroutines*iters {
+		t.Errorf("vec total = %d, want %d", got, goroutines*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.With("simulate").Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}

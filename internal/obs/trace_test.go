@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerNDJSON verifies each Emit is one valid JSON line with the
+// stamped timestamp and the caller's fields intact.
+func TestTracerNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 42, time.UTC)
+	tr.now = func() time.Time { return fixed }
+
+	run := tr.Begin()
+	if run != 1 {
+		t.Errorf("first run id = %d, want 1", run)
+	}
+	tr.Emit(Span{Run: run, Spec: "art/vtage", Stage: StageWarmup, Tier: TierSimulated, DurNS: 1500})
+	tr.Emit(Span{Run: run, Spec: "art/vtage", Stage: StageStore, Tier: TierStore, Outcome: "miss", DurNS: 10, Err: "boom"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2", len(lines))
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if s.TS != fixed.Format(time.RFC3339Nano) {
+		t.Errorf("ts = %q, want stamped %q", s.TS, fixed.Format(time.RFC3339Nano))
+	}
+	if s.Stage != StageWarmup || s.Tier != TierSimulated || s.DurNS != 1500 || s.Run != 1 {
+		t.Errorf("span round-trip mismatch: %+v", s)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &s); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if s.Outcome != "miss" || s.Err != "boom" {
+		t.Errorf("span round-trip mismatch: %+v", s)
+	}
+}
+
+// TestTracerNilNoop verifies the nil receiver contract instrumented code
+// relies on.
+func TestTracerNilNoop(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Begin(); got != 0 {
+		t.Errorf("nil Begin = %d, want 0", got)
+	}
+	tr.Emit(Span{Stage: StageAdmit}) // must not panic
+}
+
+// TestTracerConcurrent emits from many goroutines and asserts every line
+// stays intact (no interleaved writes) and run ids are unique.
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	const goroutines = 8
+	const spans = 200
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < spans; j++ {
+				run := tr.Begin()
+				tr.Emit(Span{Run: run, Spec: "k/p", Stage: StageMeasure, DurNS: int64(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != goroutines*spans {
+		t.Fatalf("emitted %d lines, want %d", len(lines), goroutines*spans)
+	}
+	runs := make(map[uint64]bool)
+	for i, line := range lines {
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %d corrupt: %v", i, err)
+		}
+		runs[s.Run] = true
+	}
+	if len(runs) != goroutines*spans {
+		t.Errorf("%d distinct run ids, want %d", len(runs), goroutines*spans)
+	}
+}

@@ -184,6 +184,7 @@ func (j *job) run() {
 	j.started = time.Now()
 	j.broadcastLocked(Event{Type: "status", Job: j.statusLocked(false)})
 	j.mu.Unlock()
+	j.server.metrics.countJob(j.kind, StateRunning)
 
 	for i, sp := range j.tasks {
 		if j.ctx.Err() != nil {
@@ -311,8 +312,11 @@ func (j *job) finalize() {
 	done.Artifact = j.artifact
 	j.broadcastLocked(Event{Type: "done", Job: done})
 	close(j.doneCh)
+	terminal := j.state
 	j.mu.Unlock()
 
+	j.server.metrics.countJob(j.kind, terminal)
+	j.server.metrics.jobsActive.Dec()
 	j.cancel() // release the context's resources
 	j.server.jobFinished()
 }

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics holds the service layer's instruments, all registered on one
+// obs.Registry (shared with the harness observer and, via RunnerOptions,
+// with the embedding process). A nil *serverMetrics is a no-op everywhere,
+// so the hot paths carry no conditionals — but New always builds one, since
+// the registry also backs GET /metrics.
+//
+// Cardinality (DESIGN.md §10): endpoint labels come from the fixed route
+// table (never from request paths), code labels are the handful of statuses
+// the API emits, job kind/state are closed vocabularies — every family here
+// is bounded by construction.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requests *obs.CounterVec   // repro_http_requests_total{endpoint,code}
+	latency  *obs.HistogramVec // repro_http_request_seconds{endpoint}
+	inflight *obs.Gauge        // repro_http_inflight_requests
+
+	jobs       *obs.CounterVec // repro_jobs_total{kind,state}
+	jobsActive *obs.Gauge      // repro_jobs_active
+
+	streamSubs     *obs.Counter // repro_stream_subscriptions_total
+	streamReplayed *obs.Counter // repro_stream_replayed_events_total
+
+	schedQueueWait *obs.Histogram // repro_sched_queue_wait_seconds
+	schedCoalesced *obs.Counter   // repro_sched_coalesced_total
+	schedBusy      *obs.Gauge     // repro_sched_busy_workers
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("repro_http_requests_total",
+			"API requests by route and response status.",
+			"endpoint", "code"),
+		latency: reg.HistogramVec("repro_http_request_seconds",
+			"API request wall time by route, first byte to handler return.",
+			nil, "endpoint"),
+		inflight: reg.Gauge("repro_http_inflight_requests",
+			"API requests currently being handled (streams included)."),
+		jobs: reg.CounterVec("repro_jobs_total",
+			"Job state transitions by kind (batch, experiment) and state entered.",
+			"kind", "state"),
+		jobsActive: reg.Gauge("repro_jobs_active",
+			"Jobs admitted and not yet terminal."),
+		streamSubs: reg.Counter("repro_stream_subscriptions_total",
+			"Job event-stream subscriptions opened."),
+		streamReplayed: reg.Counter("repro_stream_replayed_events_total",
+			"Events replayed to late stream subscribers (live events not included)."),
+		schedQueueWait: reg.Histogram("repro_sched_queue_wait_seconds",
+			"Delay from scheduler submission to a worker picking the task up.", nil),
+		schedCoalesced: reg.Counter("repro_sched_coalesced_total",
+			"Tasks parked onto an identical in-flight spec instead of a worker."),
+		schedBusy: reg.Gauge("repro_sched_busy_workers",
+			"Workers currently simulating."),
+	}
+}
+
+func (m *serverMetrics) countJob(kind, state string) {
+	if m != nil {
+		m.jobs.With(kind, state).Inc()
+	}
+}
+
+// statusWriter captures the response status (and bytes, for access logs
+// layered above) while passing the streaming interfaces through.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush lets wrapped handlers stream (NDJSON/SSE); the inner writer is
+// always an http.ResponseWriter from net/http, which supports it.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// handle registers pattern on the mux with per-endpoint instrumentation.
+// The endpoint label is this explicit registration-time name — never the
+// request path — so family cardinality equals the route table.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	m := s.metrics
+	lat := m.latency.With(endpoint)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Inc()
+		start := time.Now()
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		m.inflight.Dec()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
+	})
+}

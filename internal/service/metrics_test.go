@@ -1,0 +1,151 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	. "repro/internal/service"
+)
+
+// scrape fetches url and returns the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of the first sample line matching prefix.
+func metricValue(t *testing.T, page, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			fields := strings.Fields(line)
+			return fields[len(fields)-1]
+		}
+	}
+	t.Fatalf("no sample with prefix %q in scrape", prefix)
+	return ""
+}
+
+// TestMetricsEndToEnd drives real work through the API and asserts the
+// /metrics page reflects it: simulations ran, requests were counted under
+// their route labels, the trace writer got spans, and the page is
+// well-formed (each family exactly once) — the same gate CI applies to a
+// live daemon.
+func TestMetricsEndToEnd(t *testing.T) {
+	var trace bytes.Buffer
+	reg := obs.NewRegistry()
+	_, c, ts := newTestServer(t, Options{Workers: 2, Metrics: reg, TraceWriter: &trace})
+
+	spec := harness.Spec{Kernel: "gzip", Predictor: "vtage", Counters: harness.FPC}
+	if _, err := c.Simulate(t.Context(), RequestFor(spec)); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitBatch(t.Context(), specRequests([]harness.Spec{
+		{Kernel: "art", Predictor: "stride", Counters: harness.BaselineCounters},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(t.Context(), job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	page := scrape(t, ts.URL+"/metrics")
+
+	if v := metricValue(t, page, "repro_simulations_total"); v == "0" {
+		t.Error("repro_simulations_total = 0 after real work")
+	}
+	for _, prefix := range []string{
+		`repro_http_requests_total{endpoint="simulate",code="200"}`,
+		`repro_http_requests_total{endpoint="batch",code="202"}`,
+		`repro_jobs_total{kind="batch",state="done"}`,
+		`repro_cache_lookups_total{tier="memo",result="miss"}`,
+		`repro_sched_queue_wait_seconds_count`,
+		`repro_simulate_phase_seconds_count{phase="warmup"}`,
+	} {
+		if v := metricValue(t, page, prefix); v == "0" {
+			t.Errorf("%s = 0, want > 0", prefix)
+		}
+	}
+	if v := metricValue(t, page, "repro_jobs_active"); v != "0" {
+		t.Errorf("repro_jobs_active = %s after all jobs finished, want 0", v)
+	}
+
+	// Well-formedness: every family header appears exactly once.
+	seen := map[string]int{}
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[strings.Fields(line)[2]]++
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("family %s exposed %d times", name, n)
+		}
+	}
+
+	// The trace writer saw complete span-sets: at least admit + warmup +
+	// measure for the cold specs above.
+	stages := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(trace.String()), "\n") {
+		var s obs.Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("corrupt trace line %q: %v", line, err)
+		}
+		stages[s.Stage]++
+	}
+	for _, st := range []string{obs.StageAdmit, obs.StageWarmup, obs.StageMeasure, obs.StagePublish} {
+		if stages[st] == 0 {
+			t.Errorf("trace has no %q spans: %v", st, stages)
+		}
+	}
+}
+
+// TestStatszSnapshots verifies the snapshot cache is attached by default,
+// reported in /v1/statsz, and disabled by a negative SnapshotCap.
+func TestStatszSnapshots(t *testing.T) {
+	srv, c, _ := newTestServer(t, Options{Workers: 2})
+	if srv.Session().Snapshots() == nil {
+		t.Fatal("default server has no snapshot cache attached")
+	}
+	spec := harness.Spec{Kernel: "gzip", Predictor: "lvp"}
+	if _, err := c.Simulate(t.Context(), RequestFor(spec)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshots == nil {
+		t.Fatal("statsz has no snapshots section")
+	}
+	if stats.Snapshots.Misses == 0 || stats.Snapshots.Entries == 0 {
+		t.Errorf("snapshot stats not populated: %+v", *stats.Snapshots)
+	}
+
+	off, _, _ := newTestServer(t, Options{Workers: 1, SnapshotCap: -1})
+	if off.Session().Snapshots() != nil {
+		t.Error("SnapshotCap < 0 still attached a snapshot cache")
+	}
+	if s := off.Stats(); s.Snapshots != nil {
+		t.Error("statsz reports snapshots with the cache disabled")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -19,9 +20,10 @@ type taskSink interface {
 // task is one spec to simulate on behalf of one sink; idx is the sink's own
 // index for the delivery (a job's position in its combined task list).
 type task struct {
-	sink taskSink
-	idx  int
-	spec harness.Spec
+	sink      taskSink
+	idx       int
+	spec      harness.Spec
+	submitted time.Time // queue-wait measurement (zero when unobserved)
 }
 
 // errSchedulerClosed rejects submissions after shutdown.
@@ -42,6 +44,7 @@ var errSchedulerClosed = errors.New("service: scheduler shut down")
 type scheduler struct {
 	session *harness.Session
 	tasks   chan task
+	metrics *serverMetrics // nil in metric-less tests
 
 	mu       sync.Mutex
 	inflight map[harness.Spec][]task // spec being simulated -> parked duplicates
@@ -54,11 +57,12 @@ type scheduler struct {
 	wg        sync.WaitGroup
 }
 
-func newScheduler(se *harness.Session, workers int) *scheduler {
+func newScheduler(se *harness.Session, workers int, m *serverMetrics) *scheduler {
 	s := &scheduler{
 		session:  se,
 		tasks:    make(chan task, 4*workers),
 		inflight: make(map[harness.Spec][]task),
+		metrics:  m,
 		workers:  workers,
 	}
 	for i := 0; i < workers; i++ {
@@ -80,6 +84,9 @@ func (s *scheduler) submit(t task) error {
 	}
 	s.queued.Add(1)
 	s.mu.Unlock()
+	if s.metrics != nil {
+		t.submitted = time.Now()
+	}
 	select {
 	case s.tasks <- t:
 		return nil
@@ -107,6 +114,9 @@ func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for t := range s.tasks {
 		s.queued.Add(-1)
+		if m := s.metrics; m != nil && !t.submitted.IsZero() {
+			m.schedQueueWait.Observe(time.Since(t.submitted).Seconds())
+		}
 		if err := t.sink.taskCtx().Err(); err != nil {
 			t.sink.deliver(t.idx, nil, err)
 			continue
@@ -118,14 +128,23 @@ func (s *scheduler) worker() {
 			s.inflight[t.spec] = append(s.inflight[t.spec], t)
 			s.coalesced.Add(1)
 			s.mu.Unlock()
+			if m := s.metrics; m != nil {
+				m.schedCoalesced.Inc()
+			}
 			continue
 		}
 		s.inflight[t.spec] = nil
 		s.mu.Unlock()
 
 		s.busy.Add(1)
+		if m := s.metrics; m != nil {
+			m.schedBusy.Inc()
+		}
 		s.runSpec(t)
 		s.busy.Add(-1)
+		if m := s.metrics; m != nil {
+			m.schedBusy.Dec()
+		}
 	}
 }
 

@@ -58,7 +58,7 @@ func TestOwnerPromotionServesParkedWaiters(t *testing.T) {
 	// Windows long enough that the owner is still simulating while the
 	// waiters park and the cancellations land.
 	se := harness.NewSession(10_000, 1_500_000)
-	sched := newScheduler(se, 2)
+	sched := newScheduler(se, 2, nil)
 	defer sched.close()
 	spec := harness.Spec{Kernel: "gzip", Predictor: "none"}
 
@@ -140,7 +140,7 @@ func TestMemoStatsCoalescedWaitersCountAsHits(t *testing.T) {
 	// Windows long enough that the owner is still simulating while every
 	// duplicate parks.
 	se := harness.NewSession(10_000, 1_500_000)
-	sched := newScheduler(se, 2)
+	sched := newScheduler(se, 2, nil)
 	defer sched.close()
 	spec := harness.Spec{Kernel: "gzip", Predictor: "none"}
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -36,6 +38,23 @@ type Options struct {
 	// the oldest are evicted first (default 256). Active jobs are never
 	// evicted.
 	FinishedJobRetention int
+
+	// Metrics is the registry the server's instruments register on and
+	// GET /metrics renders. Nil: the server builds a private registry, so
+	// /metrics always works; pass one to share instruments with the
+	// embedding process (the Runner facade does).
+	Metrics *obs.Registry
+
+	// TraceWriter, when non-nil, receives one NDJSON span per simulation
+	// lifecycle stage (obs.Span; see DESIGN.md §10). The writer is wrapped
+	// in a mutex by the tracer; an *os.File is fine.
+	TraceWriter io.Writer
+
+	// SnapshotCap bounds the warm-state snapshot cache attached to the
+	// session: 0 selects harness.DefaultSnapshotCap, negative disables the
+	// cache. Snapshots skip the warmup phase of repeat specs
+	// byte-identically (DESIGN.md §9).
+	SnapshotCap int
 }
 
 // WithDefaults resolves every unset field to its serving default — the one
@@ -75,6 +94,7 @@ type Server struct {
 	session *harness.Session
 	sched   *scheduler
 	mux     *http.ServeMux
+	metrics *serverMetrics
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	start   time.Time
@@ -106,21 +126,40 @@ func New(o Options) (*Server, error) {
 		}
 		s.session.UseStore(st)
 	}
+	if o.SnapshotCap >= 0 {
+		s.session.UseSnapshots(harness.NewSnapshotCache(o.SnapshotCap))
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newServerMetrics(reg)
+	var tracer *obs.Tracer
+	if o.TraceWriter != nil {
+		tracer = obs.NewTracer(o.TraceWriter)
+	}
+	s.session.Observe(harness.NewObserver(reg, tracer))
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.sched = newScheduler(s.session, o.Workers)
+	s.sched = newScheduler(s.session, o.Workers, s.metrics)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
-	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	s.handle("POST /v1/simulate", "simulate", s.handleSimulate)
+	s.handle("POST /v1/batch", "batch", s.handleBatch)
+	s.handle("GET /v1/experiments", "experiments", s.handleExperimentIndex)
+	s.handle("POST /v1/experiments/{id}", "experiment", s.handleExperiment)
+	s.handle("GET /v1/jobs", "jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", "job", s.handleJob)
+	s.handle("DELETE /v1/jobs/{id}", "cancel", s.handleCancel)
+	s.handle("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
+	s.handle("GET /v1/healthz", "healthz", s.handleHealthz)
+	s.handle("GET /v1/statsz", "statsz", s.handleStatsz)
+	s.handle("GET /metrics", "metrics", reg.Handler().ServeHTTP)
 	return s, nil
 }
+
+// Registry exposes the metric registry the server's instruments live on —
+// the one GET /metrics renders — so embedding processes (cmd/vpserved, the
+// Runner facade) can register their own instruments beside it.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -196,6 +235,8 @@ func (s *Server) admit(j *job) error {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.active++
+	s.metrics.countJob(j.kind, StateQueued)
+	s.metrics.jobsActive.Inc()
 	return nil
 }
 
@@ -507,6 +548,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	replay, live, unsub := j.subscribe()
 	defer unsub()
+	s.metrics.streamSubs.Inc()
+	s.metrics.streamReplayed.Add(uint64(len(replay)))
 	enc := json.NewEncoder(w)
 	emit := func(ev Event) bool {
 		if sse {
@@ -599,6 +642,10 @@ func (s *Server) Stats() ServerStats {
 			Writes:      memo.Store.Writes,
 			WriteErrors: memo.Store.WriteErrors,
 		}
+	}
+	if s.session.Snapshots() != nil {
+		snaps := memo.Snapshots
+		out.Snapshots = &snaps
 	}
 	return out
 }

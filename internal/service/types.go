@@ -185,7 +185,8 @@ type StoreStats struct {
 }
 
 // ServerStats is the body of GET /v1/statsz: scheduler load, the shared
-// session's memo/store effectiveness, and the job population by state.
+// session's memo/store/snapshot effectiveness, and the job population by
+// state.
 // Workers is the scheduler pool size; GOMAXPROCS and NumCPU put it in
 // context — min of the three is the parallelism the pool can really get.
 // MemoMisses counts simulations actually started; a result loaded from the
@@ -205,5 +206,12 @@ type ServerStats struct {
 	ActiveJobs    int            `json:"active_jobs"`
 	Draining      bool           `json:"draining"`
 	Store         *StoreStats    `json:"store,omitempty"`
-	Limits        Limits         `json:"limits"`
+
+	// Snapshots reports the warm-state snapshot cache (harness
+	// SnapshotCache.Stats), present unless the cache was disabled with a
+	// negative SnapshotCap. A snapshot hit still simulates — it skips only
+	// the warmup phase — so these are orthogonal to the memo counters.
+	Snapshots *harness.SnapshotStats `json:"snapshots,omitempty"`
+
+	Limits Limits `json:"limits"`
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -69,9 +71,22 @@ var (
 // plus the attached store's own counters.
 type MemoStats = harness.MemoStats
 
+// Metrics is the observability registry (internal/obs) made public: atomic
+// counters, gauges, and latency histograms grouped into labeled families,
+// rendered in Prometheus text format by WritePrometheus or served by
+// Handler. One registry can back any number of runners, servers, and
+// process-level instruments; DESIGN.md §10 catalogs the families the stack
+// registers.
+type Metrics = obs.Registry
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
 // RunnerOptions sizes a LocalRunner: per-simulation windows and the worker
 // pool. The zero value is the paper's interactive default (50k warmup /
-// 250k measured µops, GOMAXPROCS workers, no persistent store).
+// 250k measured µops, GOMAXPROCS workers, no persistent store, no
+// observability). OpenRemoteRunner honours Metrics and TraceWriter too —
+// the other fields describe the local session a remote daemon owns itself.
 type RunnerOptions struct {
 	Warmup  uint64 // µops before measurement per simulation (default 50_000)
 	Measure uint64 // measured µops per simulation (default 250_000)
@@ -83,6 +98,17 @@ type RunnerOptions struct {
 	// populated store pays disk reads instead of simulations. Any number of
 	// processes may share one directory.
 	StoreDir string
+
+	// Metrics, when non-nil, registers the runner's instruments on the
+	// given registry: cache lookups, executed simulations, per-phase wall
+	// time, and repro_dispatch_seconds{backend} — the same families a
+	// vpserved /metrics page exposes, so local and remote runs read alike.
+	Metrics *Metrics
+
+	// TraceWriter, when non-nil, receives one NDJSON span (obs.Span wire
+	// schema, DESIGN.md §10) per simulation lifecycle stage and per runner
+	// dispatch. The tracer serializes writes; an *os.File is fine.
+	TraceWriter io.Writer
 }
 
 // withDefaults resolves unset windows to the facade defaults. Workers stays
@@ -103,4 +129,56 @@ func (o RunnerOptions) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// runnerObs is the dispatch-level instrumentation both backends share: the
+// repro_dispatch_seconds{backend} histogram and a dispatch span per Simulate
+// call. Comparing the two backend labels on one registry puts a number on
+// the wire tax a remote runner pays over a warm local call. A nil *runnerObs
+// is a no-op, so unobserved runners carry no overhead.
+type runnerObs struct {
+	dispatch *obs.Histogram
+	tracer   *obs.Tracer
+	tier     string
+}
+
+// newRunnerObs builds the dispatch instruments for one backend. The tracer
+// is shared with the session observer (one writer, one mutex) rather than
+// rebuilt from the writer, so concurrent span emissions cannot interleave.
+func newRunnerObs(reg *Metrics, tracer *obs.Tracer, backend string) *runnerObs {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	ro := &runnerObs{tracer: tracer, tier: backend}
+	if reg != nil {
+		ro.dispatch = reg.HistogramVec("repro_dispatch_seconds",
+			"Runner wall time per Simulate dispatch by backend: in-process scheduling (local) vs full HTTP round-trip (remote).",
+			nil, "backend").With(backend)
+	}
+	return ro
+}
+
+// observe records one dispatch: called with the call's start time and
+// outcome as the Simulate returns.
+func (ro *runnerObs) observe(spec Spec, start time.Time, err error) {
+	if ro == nil {
+		return
+	}
+	d := time.Since(start)
+	if ro.dispatch != nil {
+		ro.dispatch.Observe(d.Seconds())
+	}
+	if ro.tracer != nil {
+		s := obs.Span{
+			Run:   ro.tracer.Begin(),
+			Spec:  spec.Identity(),
+			Stage: obs.StageDispatch,
+			Tier:  ro.tier,
+			DurNS: d.Nanoseconds(),
+		}
+		if err != nil {
+			s.Err = err.Error()
+		}
+		ro.tracer.Emit(s)
+	}
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -19,10 +21,14 @@ import (
 type LocalRunner struct {
 	opts    RunnerOptions
 	session *harness.Session
+	obs     *runnerObs // nil when unobserved
 }
 
 // OpenLocalRunner builds a runner over a fresh session sized by o, opening
 // (creating if needed) the persistent record store when o.StoreDir is set.
+// A non-nil o.Metrics or o.TraceWriter attaches the observability layer:
+// session instruments (cache lookups, simulations, phase timings) plus the
+// runner's own dispatch histogram.
 func OpenLocalRunner(o RunnerOptions) (*LocalRunner, error) {
 	o = o.withDefaults()
 	se := harness.NewSession(o.Warmup, o.Measure)
@@ -33,7 +39,16 @@ func OpenLocalRunner(o RunnerOptions) (*LocalRunner, error) {
 		}
 		se.UseStore(st)
 	}
-	return &LocalRunner{opts: o, session: se}, nil
+	r := &LocalRunner{opts: o, session: se}
+	if o.Metrics != nil || o.TraceWriter != nil {
+		var tracer *obs.Tracer
+		if o.TraceWriter != nil {
+			tracer = obs.NewTracer(o.TraceWriter)
+		}
+		se.Observe(harness.NewObserver(o.Metrics, tracer))
+		r.obs = newRunnerObs(o.Metrics, tracer, "local")
+	}
+	return r, nil
 }
 
 // NewLocalRunner builds a runner over a fresh session sized by o. It panics
@@ -63,14 +78,18 @@ func (r *LocalRunner) Simulate(ctx context.Context, spec Spec) (Record, error) {
 	if err := spec.Validate(); err != nil {
 		return Record{}, err
 	}
+	start := time.Now()
 	batch := []harness.Spec{spec}
 	if spec.Predictor != "none" {
 		batch = append(batch, spec.Baseline())
 	}
 	if _, err := r.session.RunAllCtx(ctx, batch, r.opts.Workers); err != nil {
+		r.obs.observe(spec, start, err)
 		return Record{}, err
 	}
-	return r.session.RecordCtx(ctx, spec) // warm: both runs just landed
+	rec, err := r.session.RecordCtx(ctx, spec) // warm: both runs just landed
+	r.obs.observe(spec, start, err)
+	return rec, err
 }
 
 // Batch implements the streaming contract over the worker pool: specs are

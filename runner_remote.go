@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -20,13 +21,31 @@ import (
 // speed for every client. Server failures surface as *service.APIError
 // (unwrapped — errors.As works directly on the returned error).
 type RemoteRunner struct {
-	c *client.Client
+	c   *client.Client
+	obs *runnerObs // nil when unobserved
 }
 
 // NewRemoteRunner builds a runner against the service at baseURL
 // (e.g. "http://127.0.0.1:8437").
 func NewRemoteRunner(baseURL string) *RemoteRunner {
 	return &RemoteRunner{c: client.New(baseURL)}
+}
+
+// OpenRemoteRunner is NewRemoteRunner with client-side observability:
+// o.Metrics registers repro_dispatch_seconds{backend="remote"} — the full
+// HTTP round-trip per Simulate, the number to hold against a local runner's
+// "local" label — and o.TraceWriter receives one dispatch span per call.
+// The remaining RunnerOptions fields describe a local session and are
+// ignored: windows, workers, and the store belong to the daemon.
+func OpenRemoteRunner(baseURL string, o RunnerOptions) *RemoteRunner {
+	var tracer *obs.Tracer
+	if o.TraceWriter != nil {
+		tracer = obs.NewTracer(o.TraceWriter)
+	}
+	return &RemoteRunner{
+		c:   client.New(baseURL),
+		obs: newRunnerObs(o.Metrics, tracer, "remote"),
+	}
 }
 
 // NewRemoteRunnerClient wraps an existing typed client (tests, custom
@@ -41,7 +60,10 @@ func (r *RemoteRunner) Simulate(ctx context.Context, spec Spec) (Record, error) 
 	if err := spec.Validate(); err != nil {
 		return Record{}, err
 	}
-	return r.c.Simulate(ctx, service.RequestFor(spec))
+	start := time.Now()
+	rec, err := r.c.Simulate(ctx, service.RequestFor(spec))
+	r.obs.observe(spec, start, err)
+	return rec, err
 }
 
 // Batch submits the specs as one job and follows its result stream,
