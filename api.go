@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/harness"
+	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/pipeline"
 	"repro/internal/service"
@@ -83,14 +84,62 @@ type APIError = service.APIError
 
 // Stable APIError codes.
 const (
-	APICodeBadRequest = service.CodeBadRequest
-	APICodeNotFound   = service.CodeNotFound
-	APICodeTooLarge   = service.CodeTooLarge
-	APICodeQueueFull  = service.CodeQueueFull
-	APICodeDraining   = service.CodeDraining
-	APICodeTimeout    = service.CodeTimeout
-	APICodeInternal   = service.CodeInternal
+	APICodeBadRequest     = service.CodeBadRequest
+	APICodeNotFound       = service.CodeNotFound
+	APICodeTooLarge       = service.CodeTooLarge
+	APICodeQueueFull      = service.CodeQueueFull
+	APICodeDraining       = service.CodeDraining
+	APICodeTimeout        = service.CodeTimeout
+	APICodeInternal       = service.CodeInternal
+	APICodeUnknownProgram = service.CodeUnknownProgram
 )
+
+// ---------------------------------------------------------------------------
+// Workload programs (DESIGN.md §11): bring-your-own workloads as data. A
+// Program — hand-assembled, loaded from a file, or generated — becomes a
+// simulation input by registering it with a Runner, which answers the
+// content-addressed workload string to put in Spec.Program. Identity is the
+// program's bytes, never its name: byte-identical programs share memo
+// entries, persisted store records and warm-state snapshots across backends
+// and daemon restarts, and two different programs can never collide.
+// ---------------------------------------------------------------------------
+
+// Program is a workload program: code, data segments, initial registers and
+// an entry point for the simulated ISA (internal/isa made public).
+type Program = isa.Program
+
+// ProgramInfo describes one program registered with a daemon (the POST/GET
+// /v1/programs wire form): its canonical workload id plus display metadata.
+type ProgramInfo = service.ProgramInfo
+
+// AssembleProgram parses text-assembly source (the .vasm grammar of
+// DESIGN.md §11) into a program. name is used when the source has no .name
+// directive.
+func AssembleProgram(name string, src []byte) (*Program, error) { return isa.Assemble(name, src) }
+
+// DisassembleProgram renders p as canonical text assembly; assembling the
+// output reproduces p byte for byte.
+func DisassembleProgram(p *Program) []byte { return isa.Disassemble(p) }
+
+// LoadProgram sniffs data's format — binary program encoding or text
+// assembly — and decodes accordingly; name applies to assembly with no
+// .name directive. This is what the CLIs' -program flags call.
+func LoadProgram(name string, data []byte) (*Program, error) { return isa.Load(name, data) }
+
+// GenerateProgram builds a deterministic synthetic workload: the same
+// family and seed produce byte-identical programs on every machine, so
+// generated corpora are shareable by (family, seed) alone. Families are
+// listed by GeneratorFamilies.
+func GenerateProgram(family string, seed uint64) (*Program, error) { return isa.Generate(family, seed) }
+
+// GeneratorFamilies lists the synthetic workload families GenerateProgram
+// accepts.
+func GeneratorFamilies() []string { return isa.Families() }
+
+// ProgramID returns p's content-addressed workload reference
+// ("prog:<sha256>" over the binary encoding) without registering it
+// anywhere — useful for naming expectations in tests and manifests.
+func ProgramID(p *Program) string { return harness.ProgramID(p) }
 
 // ---------------------------------------------------------------------------
 // Deprecated one-shot entry points.

@@ -105,6 +105,30 @@ type WarmStartResult struct {
 	WarmMisses    uint64  `json:"warm_misses"`
 }
 
+// CorpusFamilyResult is one generator family's sweep rate within the corpus
+// measurement.
+type CorpusFamilyResult struct {
+	Family      string  `json:"family"`
+	Specs       int     `json:"specs"`
+	WallSeconds float64 `json:"wall_s"`
+	SpecsPerSec float64 `json:"specs_per_sec"`
+}
+
+// CorpusResult measures the bring-your-own-workload path end to end:
+// deterministically generated programs (genprog's families) registered as
+// first-class content-addressed workloads and swept across a predictor list
+// through the same memoized session path the builtin kernels use. The rate
+// is reported per family because the families stress different machine
+// behaviour (branchy: control flow; memory: loads; mixed: both), so a
+// regression can be localized to the path that caused it.
+type CorpusResult struct {
+	ProgramsPerFamily int                  `json:"programs_per_family"`
+	Predictors        []string             `json:"predictors"`
+	Workers           int                  `json:"workers"`
+	Families          []CorpusFamilyResult `json:"families"`
+	SpecsPerSec       float64              `json:"specs_per_sec"`
+}
+
 // ServerResult measures the service layer (internal/service) end to end:
 // several concurrent clients submit the same fig4 spec batch over HTTP to
 // an in-process server, so the number folds in scheduling, streaming, and —
@@ -129,6 +153,7 @@ type Record struct {
 	Fig4        *Fig4Result        `json:"fig4,omitempty"`
 	WarmStart   *WarmStartResult   `json:"warm_start,omitempty"`
 	Ablation    *AblationResult    `json:"ablation,omitempty"`
+	Corpus      *CorpusResult      `json:"corpus,omitempty"`
 	Server      *ServerResult      `json:"server,omitempty"`
 	Runner      *RunnerResult      `json:"runner,omitempty"`
 	Before      *Record            `json:"before,omitempty"`
@@ -201,6 +226,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  %d specs in %.2fs = %.1f specs/s (%d workers)\n",
 		ab.Specs, ab.WallSeconds, ab.SpecsPerSec, ab.Workers)
 	rec.Ablation = &ab
+
+	fmt.Fprintf(os.Stderr, "bench: generated-program corpus sweep (%d programs/family x %d predictors)\n",
+		corpusProgramsPerFamily, len(corpusPredictors))
+	cp, err := measureCorpus(*warmup, *measure, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, fr := range cp.Families {
+		fmt.Fprintf(os.Stderr, "  %-8s %d specs in %.2fs = %.1f specs/s\n",
+			fr.Family, fr.Specs, fr.WallSeconds, fr.SpecsPerSec)
+	}
+	rec.Corpus = &cp
 
 	fmt.Fprintf(os.Stderr, "bench: vpserved throughput (fig4 batch x %d overlapping clients over HTTP)\n", serverClients)
 	sv, err := measureServer(*warmup, *measure, *workers)
@@ -439,6 +476,62 @@ func measureAblation(warmup, measure uint64, workers int) (AblationResult, error
 	}, nil
 }
 
+// corpusPredictors is the predictor list the corpus sweep crosses each
+// generated program with — the same default sweep `experiments -corpus`
+// runs. corpusProgramsPerFamily generated programs per family (seeds
+// 0..n-1) keep the section proportionate to the others.
+var corpusPredictors = []string{"lvp", "stride", "vtage"}
+
+const corpusProgramsPerFamily = 2
+
+// measureCorpus generates corpusProgramsPerFamily programs per generator
+// family, registers each as a first-class workload of a fresh session, and
+// runs the program × predictor sweep across the worker pool — the exact
+// path a `genprog | experiments -corpus` pipeline takes, minus the disk
+// round-trip. Each family gets its own session so per-family wall times
+// don't share memo or trace state.
+func measureCorpus(warmup, measure uint64, workers int) (CorpusResult, error) {
+	res := CorpusResult{
+		ProgramsPerFamily: corpusProgramsPerFamily,
+		Predictors:        corpusPredictors,
+		Workers:           workers,
+	}
+	var specsTotal int
+	var wallTotal float64
+	for _, fam := range repro.GeneratorFamilies() {
+		se := harness.NewSession(warmup, measure)
+		var specs []harness.Spec
+		for s := uint64(0); s < corpusProgramsPerFamily; s++ {
+			p, err := repro.GenerateProgram(fam, s)
+			if err != nil {
+				return CorpusResult{}, err
+			}
+			id, err := se.RegisterProgram(p)
+			if err != nil {
+				return CorpusResult{}, err
+			}
+			for _, pred := range corpusPredictors {
+				specs = append(specs, harness.Spec{Program: id, Predictor: pred, Counters: harness.FPC})
+			}
+		}
+		start := time.Now()
+		if _, err := se.RunAll(specs, workers); err != nil {
+			return CorpusResult{}, err
+		}
+		wall := time.Since(start).Seconds()
+		res.Families = append(res.Families, CorpusFamilyResult{
+			Family:      fam,
+			Specs:       len(specs),
+			WallSeconds: wall,
+			SpecsPerSec: float64(len(specs)) / wall,
+		})
+		specsTotal += len(specs)
+		wallTotal += wall
+	}
+	res.SpecsPerSec = float64(specsTotal) / wallTotal
+	return res, nil
+}
+
 // serverClients is how many concurrent clients the server measurement runs;
 // their batches fully overlap, which is the service's intended load shape.
 const serverClients = 4
@@ -587,6 +680,9 @@ func speedups(cur, prev *Record) map[string]float64 {
 	}
 	if cur.Ablation != nil && prev.Ablation != nil && prev.Ablation.SpecsPerSec > 0 {
 		out["ablation_specs_per_sec"] = cur.Ablation.SpecsPerSec / prev.Ablation.SpecsPerSec
+	}
+	if cur.Corpus != nil && prev.Corpus != nil && prev.Corpus.SpecsPerSec > 0 {
+		out["corpus_specs_per_sec"] = cur.Corpus.SpecsPerSec / prev.Corpus.SpecsPerSec
 	}
 	if cur.WarmStart != nil && prev.WarmStart != nil && prev.WarmStart.WarmSpeedup > 0 {
 		out["warm_start_speedup"] = cur.WarmStart.WarmSpeedup / prev.WarmStart.WarmSpeedup

@@ -55,6 +55,29 @@ func BenchmarkRunnerRemoteOverhead(b *testing.B) {
 	})
 }
 
+// TestMeasureCorpus smoke-tests the corpus section with tiny windows: every
+// generator family must report a positive sweep rate.
+func TestMeasureCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement smoke needs real (if small) simulations")
+	}
+	cp, err := measureCorpus(1_000, 4_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(cp.Families), len(repro.GeneratorFamilies()); got != want {
+		t.Fatalf("corpus measured %d families, want %d", got, want)
+	}
+	for _, fr := range cp.Families {
+		if fr.Specs != corpusProgramsPerFamily*len(corpusPredictors) || fr.SpecsPerSec <= 0 {
+			t.Errorf("degenerate family measurement: %+v", fr)
+		}
+	}
+	if cp.SpecsPerSec <= 0 {
+		t.Errorf("degenerate overall rate: %+v", cp)
+	}
+}
+
 // TestMeasureRunnerOverhead smoke-tests the bench section with tiny windows
 // so CI keeps the measurement path compiling and running.
 func TestMeasureRunnerOverhead(t *testing.T) {

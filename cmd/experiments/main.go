@@ -15,6 +15,13 @@
 //	experiments -run fig4 -server http://127.0.0.1:8437   # remote, memo-warm
 //	experiments -list -server http://127.0.0.1:8437       # the server's index
 //	experiments -run fig4 -store-dir .vpstore             # warm-start next run
+//	experiments -corpus ./corpus -pred lvp,stride,vtage   # sweep your own programs
+//
+// -corpus sweeps every program file (.isa binary or .vasm text assembly,
+// format sniffed) in a directory across the -pred predictor list, through
+// whichever backend the other flags select — programs are registered with
+// the runner (uploaded, when remote) automatically. Generate a corpus with
+// genprog.
 //
 // Ctrl-C (SIGINT) or SIGTERM cancels cleanly: in-flight simulations stop at
 // their next cancellation checkpoint (local and remote — a remote job is
@@ -29,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -56,6 +64,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "parallel simulation workers (<=0: GOMAXPROCS; remote: server pool)")
 	format := fs.String("format", "text", "output format for -run: text, json, or csv")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	corpus := fs.String("corpus", "", "sweep every program file in this directory (instead of -run/-all)")
+	preds := fs.String("pred", "lvp,stride,vtage", "comma-separated predictors for the -corpus sweep")
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
 	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
 	traceLog := fs.String("trace-log", "", "append one NDJSON span per run lifecycle stage to this file (empty: off)")
@@ -121,6 +131,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *corpus != "" {
+		if *runID != "" || *all {
+			fmt.Fprintln(stderr, "experiments: -corpus is its own sweep; drop -run/-all")
+			return 2
+		}
+		if err := runCorpus(ctx, runner, *corpus, *preds, *format, stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
 	index, err := runner.Experiments(ctx)
 	if err != nil {
 		return fail(err)
@@ -160,6 +181,87 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// runCorpus loads every program file in dir (sorted by name, .isa and .vasm
+// alike), registers each with the runner, and batches the program × predictor
+// sweep through it — so a corpus run exercises exactly the Simulate path a
+// builtin sweep does, local or remote. Text output is a compact table; json
+// and csv emit the same stable Record fields as everywhere else.
+func runCorpus(ctx context.Context, runner repro.Runner, dir, preds, format string, stdout io.Writer) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type loaded struct {
+		file string
+		id   string
+	}
+	var programs []loaded
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		if ext != ".isa" && ext != ".vasm" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		p, err := repro.LoadProgram(strings.TrimSuffix(e.Name(), ext), data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		id, err := runner.RegisterProgram(ctx, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		programs = append(programs, loaded{file: e.Name(), id: id})
+	}
+	if len(programs) == 0 {
+		return fmt.Errorf("no program files (.isa, .vasm) in %s", dir)
+	}
+
+	var predictors []string
+	for _, p := range strings.Split(preds, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			predictors = append(predictors, p)
+		}
+	}
+	if len(predictors) == 0 {
+		return fmt.Errorf("empty -pred list")
+	}
+	var specs []repro.Spec
+	for _, prog := range programs {
+		for _, pred := range predictors {
+			specs = append(specs, repro.Spec{Program: prog.id, Predictor: pred, Counters: repro.FPC})
+		}
+	}
+
+	var recs []repro.Record
+	if err := runner.Batch(ctx, specs, func(r repro.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		return harness.WriteJSON(stdout, recs)
+	case "csv":
+		return harness.WriteCSV(stdout, recs)
+	case "", "text":
+		fmt.Fprintf(stdout, "%-24s %-12s %8s %8s %9s %9s\n", "program", "predictor", "ipc", "speedup", "coverage", "accuracy")
+		for i, r := range recs {
+			fmt.Fprintf(stdout, "%-24s %-12s %8.3f %8.3f %8.1f%% %9.4f\n",
+				programs[i/len(predictors)].file, r.Predictor, r.IPC, r.Speedup, 100*r.Coverage, r.Accuracy)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (have text, json, csv)", format)
+	}
 }
 
 func experimentByID(index []repro.ExperimentInfo, id string) (repro.ExperimentInfo, bool) {

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -233,5 +235,59 @@ func TestInterruptedRunExitsNonzero(t *testing.T) {
 	var out2, errb2 bytes.Buffer
 	if code := run(ctx, []string{"-all"}, &out2, &errb2); code != 130 {
 		t.Errorf("interrupted -all exited %d, want 130 (stderr: %s)", code, errb2.String())
+	}
+}
+
+// TestCorpusSweepBackends drives -corpus through both backends: the same
+// generated corpus must produce byte-identical output locally and against a
+// daemon (which receives the programs by automatic upload), in every format.
+func TestCorpusSweepBackends(t *testing.T) {
+	dir := t.TempDir()
+	for _, gen := range []struct {
+		family string
+		seed   uint64
+		name   string
+	}{
+		{"branchy", 1, "b1.vasm"},
+		{"memory", 2, "m2.isa"},
+	} {
+		p, err := repro.GenerateProgram(gen.family, gen.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := repro.DisassembleProgram(p)
+		if strings.HasSuffix(gen.name, ".isa") {
+			data = p.Encode()
+		}
+		if err := os.WriteFile(filepath.Join(dir, gen.name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	url := startServer(t, 500, 2_000)
+	for _, format := range []string{"text", "csv"} {
+		var local, remote, errb bytes.Buffer
+		args := []string{"-corpus", dir, "-pred", "lvp,stride", "-format", format, "-warmup", "500", "-measure", "2000"}
+		if code := run(context.Background(), args, &local, &errb); code != 0 {
+			t.Fatalf("local corpus %s exited %d: %s", format, code, errb.String())
+		}
+		args = []string{"-corpus", dir, "-pred", "lvp,stride", "-format", format, "-server", url}
+		if code := run(context.Background(), args, &remote, &errb); code != 0 {
+			t.Fatalf("remote corpus %s exited %d: %s", format, code, errb.String())
+		}
+		if local.String() != remote.String() {
+			t.Errorf("corpus %s output differs between backends:\n--- local\n%s--- remote\n%s",
+				format, local.String(), remote.String())
+		}
+	}
+
+	// Usage errors: empty corpus directory, conflict with -run.
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-corpus", t.TempDir()}, &out, &errb); code != 1 {
+		t.Errorf("empty corpus exited %d, want 1 (stderr %s)", code, errb.String())
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-corpus", dir, "-run", "fig1"}, &out, &errb); code != 2 {
+		t.Errorf("-corpus with -run exited %d, want 2", code)
 	}
 }

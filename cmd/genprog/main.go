@@ -1,0 +1,124 @@
+// Command genprog emits deterministic synthetic workload programs — the
+// generator behind vpsim -gen, exposed as files so corpora can be checked
+// in, diffed, uploaded to a daemon, and swept by the other tools. The same
+// family and seed produce byte-identical programs on every machine.
+//
+// Usage:
+//
+//	genprog -list                               # the families
+//	genprog -family branchy -seed 42 -o b.vasm  # one program, text assembly
+//	genprog -family memory -seed 7 -o m.isa     # one program, binary encoding
+//	genprog -dir corpus -count 4                # corpus: every family × seeds 0..3
+//	genprog -dir corpus -family mixed -count 8 -seed 100 -ext isa
+//
+// The output format follows the file extension: ".isa" writes the binary
+// program encoding, anything else the canonical text assembly (which
+// assembles back byte-identically). Generated programs never halt on their
+// own — the simulator's measurement window bounds execution — so they can
+// be warmed and measured at any window sizing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genprog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	family := fs.String("family", "", "workload family (empty with -dir: all families)")
+	seed := fs.Uint64("seed", 0, "first seed")
+	count := fs.Int("count", 1, "programs per family (seeds seed..seed+count-1; -dir only)")
+	out := fs.String("o", "", "write one program to this file (format by extension: .isa binary, else text assembly)")
+	dir := fs.String("dir", "", "write a corpus into this directory as <family>-<seed>.<ext>")
+	ext := fs.String("ext", "vasm", "corpus file extension: vasm (text assembly) or isa (binary)")
+	list := fs.Bool("list", false, "list the generator families and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "genprog: "+format+"\n", a...)
+		return 2
+	}
+
+	if *list {
+		for _, f := range repro.GeneratorFamilies() {
+			fmt.Fprintln(stdout, f)
+		}
+		return 0
+	}
+	if (*out == "") == (*dir == "") {
+		return usage("name exactly one destination: -o file or -dir directory")
+	}
+	if *ext != "vasm" && *ext != "isa" {
+		return usage("unknown -ext %q (have vasm, isa)", *ext)
+	}
+	if *count < 1 {
+		return usage("-count must be at least 1")
+	}
+
+	if *out != "" {
+		if *family == "" {
+			return usage("-o needs -family (one of: %s)", strings.Join(repro.GeneratorFamilies(), ", "))
+		}
+		p, err := repro.GenerateProgram(*family, *seed)
+		if err != nil {
+			return usage("%v", err)
+		}
+		if err := writeProgram(*out, p); err != nil {
+			fmt.Fprintln(stderr, "genprog:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\t%s\n", *out, repro.ProgramID(p))
+		return 0
+	}
+
+	families := repro.GeneratorFamilies()
+	if *family != "" {
+		families = []string{*family}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(stderr, "genprog:", err)
+		return 1
+	}
+	for _, fam := range families {
+		for i := 0; i < *count; i++ {
+			s := *seed + uint64(i)
+			p, err := repro.GenerateProgram(fam, s)
+			if err != nil {
+				return usage("%v", err)
+			}
+			path := filepath.Join(*dir, fmt.Sprintf("%s-%d.%s", fam, s, *ext))
+			if err := writeProgram(path, p); err != nil {
+				fmt.Fprintln(stderr, "genprog:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s\t%s\n", path, repro.ProgramID(p))
+		}
+	}
+	return 0
+}
+
+// writeProgram writes p in the format the destination's extension selects.
+func writeProgram(path string, p *repro.Program) error {
+	var data []byte
+	if filepath.Ext(path) == ".isa" {
+		data = p.Encode()
+	} else {
+		data = repro.DisassembleProgram(p)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func runArgs(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestListFamilies: -list prints every generator family.
+func TestListFamilies(t *testing.T) {
+	out, _, code := runArgs(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if got := strings.Fields(out); len(got) != len(repro.GeneratorFamilies()) {
+		t.Errorf("-list printed %v, want %v", got, repro.GeneratorFamilies())
+	}
+}
+
+// TestSingleFileBothFormats: -o emits text or binary by extension, both
+// loading back to the identical program (the id printed beside the path).
+func TestSingleFileBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"p.vasm", "p.isa"} {
+		path := filepath.Join(dir, name)
+		out, errb, code := runArgs(t, "-family", "memory", "-seed", "9", "-o", path)
+		if code != 0 {
+			t.Fatalf("%s exited %d: %s", name, code, errb)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := repro.LoadProgram("", data)
+		if err != nil {
+			t.Fatalf("%s does not load back: %v", name, err)
+		}
+		id := repro.ProgramID(p)
+		if !strings.Contains(out, id) {
+			t.Errorf("%s output %q missing id %s", name, out, id)
+		}
+		want, _ := repro.GenerateProgram("memory", 9)
+		if id != repro.ProgramID(want) {
+			t.Errorf("%s round-trips to a different identity", name)
+		}
+	}
+}
+
+// TestCorpusIsDeterministic: two -dir runs with the same arguments produce
+// byte-identical files — the property CI's ingestion smoke leans on.
+func TestCorpusIsDeterministic(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	for _, dir := range []string{a, b} {
+		if _, errb, code := runArgs(t, "-dir", dir, "-count", "2"); code != 0 {
+			t.Fatalf("corpus into %s exited %d: %s", dir, code, errb)
+		}
+	}
+	fa, err := filepath.Glob(filepath.Join(a, "*"))
+	if err != nil || len(fa) != 2*len(repro.GeneratorFamilies()) {
+		t.Fatalf("corpus holds %d files (err %v), want %d", len(fa), err, 2*len(repro.GeneratorFamilies()))
+	}
+	for _, pa := range fa {
+		da, err := os.ReadFile(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(filepath.Join(b, filepath.Base(pa)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Errorf("%s differs between identical runs", filepath.Base(pa))
+		}
+	}
+}
+
+// TestUsageErrors: malformed invocations exit 2.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                         // no destination
+		{"-o", "x", "-dir", "y"},   // two destinations
+		{"-o", "x.vasm"},           // -o without -family
+		{"-dir", "d", "-ext", "x"}, // unknown extension
+		{"-dir", "d", "-count", "0"},
+		{"-family", "nope", "-o", "x.vasm"},
+	} {
+		if _, _, code := runArgs(t, args...); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+}

@@ -1,34 +1,63 @@
-// Command tracedump characterizes the synthetic kernels: instruction mix,
-// branch behaviour, memory footprint, and value-locality metrics. The
-// output documents why each kernel responds to the predictor family it was
-// designed for (DESIGN.md §4).
+// Command tracedump characterizes workloads: instruction mix, branch
+// behaviour, memory footprint, and value-locality metrics. For the builtin
+// kernels the output documents why each responds to the predictor family it
+// was designed for (DESIGN.md §4); -program runs the same profile over a
+// bring-your-own workload file.
 //
 // Usage:
 //
-//	tracedump                 # table for all kernels
-//	tracedump -kernel art     # detailed block for one kernel
-//	tracedump -uops 1000000   # longer traces
+//	tracedump                     # table for all builtin kernels
+//	tracedump -kernel art         # detailed block for one kernel
+//	tracedump -program my.vasm    # detailed block for a program file (.isa or .vasm)
+//	tracedump -uops 1000000       # longer traces
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"repro"
 	"repro/internal/emu"
 	"repro/internal/kernels"
 	"repro/internal/stats"
 )
 
 func main() {
-	kernel := flag.String("kernel", "", "single kernel to profile in detail (default: all, as a table)")
+	kernel := flag.String("kernel", "", "single builtin kernel to profile in detail (default: all, as a table)")
+	program := flag.String("program", "", "profile this program file instead (binary .isa or text .vasm; format sniffed)")
 	uops := flag.Int("uops", 300_000, "trace length in µops")
 	flag.Parse()
+
+	if *kernel != "" && *program != "" {
+		fmt.Fprintln(os.Stderr, "tracedump: -kernel and -program both name a workload; use one")
+		os.Exit(2)
+	}
+
+	if *program != "" {
+		data, err := os.ReadFile(*program)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(2)
+		}
+		name := strings.TrimSuffix(filepath.Base(*program), filepath.Ext(*program))
+		p, err := repro.LoadProgram(name, data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracedump: %s: %v\n", *program, err)
+			os.Exit(2)
+		}
+		prof := stats.Compute(emu.Trace(p, *uops))
+		fmt.Print(prof.Format(p.Name))
+		return
+	}
 
 	if *kernel != "" {
 		k, ok := kernels.ByName(*kernel)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tracedump: unknown kernel %q\n", *kernel)
+			fmt.Fprintf(os.Stderr, "tracedump: unknown kernel %q (builtin kernels: %s)\n",
+				*kernel, strings.Join(kernels.Names(), ", "))
 			os.Exit(2)
 		}
 		p := stats.Compute(emu.Trace(k.Build(), *uops))

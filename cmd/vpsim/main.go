@@ -10,6 +10,14 @@
 //	vpsim -kernel art -pred vtage -width 4 -max-hist 256          # extended spec
 //	vpsim -kernel art -pred vtage -server http://127.0.0.1:8437   # remote dispatch
 //	vpsim -kernel art -pred vtage -store-dir .vpstore             # persist the result
+//	vpsim -program mywork.vasm -pred vtage                        # bring your own workload
+//	vpsim -gen branchy:42 -pred vtage                             # generated workload
+//
+// -program accepts binary program encodings (.isa) and text assembly
+// (.vasm) alike — the format is sniffed, not extension-driven. With
+// -server, the program is uploaded to the daemon automatically. -gen
+// builds the deterministic synthetic workload family:seed (see genprog
+// -list); identical arguments reproduce byte-identical programs anywhere.
 //
 // Output is a flattened record; -format json emits it with the stable
 // field names shared by -format csv|json everywhere else (DESIGN.md §5.3).
@@ -29,8 +37,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -50,6 +60,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vpsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kernel := fs.String("kernel", "art", "kernel to simulate (see -list)")
+	programFile := fs.String("program", "", "simulate this program file instead of a builtin kernel (binary .isa or text .vasm; format sniffed)")
+	gen := fs.String("gen", "", `simulate a generated workload "family:seed" (families: `+strings.Join(repro.GeneratorFamilies(), ", ")+")")
 	pred := fs.String("pred", "vtage", "value predictor: "+strings.Join(repro.Predictors(), ", "))
 	counters := fs.String("counters", "fpc", "confidence counters: baseline or fpc")
 	recovery := fs.String("recovery", "squash", "misprediction recovery: squash or reissue")
@@ -109,6 +121,58 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "vpsim: unknown format %q (have text, json)\n", *format)
 		return 2
 	}
+
+	// Resolve the workload source: builtin -kernel, a -program file, or a
+	// -gen family:seed. Exactly one may be named.
+	var prog *repro.Program
+	if *programFile != "" && *gen != "" {
+		fmt.Fprintln(stderr, "vpsim: -program and -gen both name a workload; use one")
+		return 2
+	}
+	if *programFile != "" || *gen != "" {
+		explicitKernel := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "kernel" {
+				explicitKernel = true
+			}
+		})
+		if explicitKernel {
+			fmt.Fprintln(stderr, "vpsim: -kernel conflicts with -program/-gen; name one workload source")
+			return 2
+		}
+	}
+	if *programFile != "" {
+		data, err := os.ReadFile(*programFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "vpsim:", err)
+			return 2
+		}
+		name := strings.TrimSuffix(filepath.Base(*programFile), filepath.Ext(*programFile))
+		prog, err = repro.LoadProgram(name, data)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpsim: %s: %v\n", *programFile, err)
+			return 2
+		}
+	}
+	if *gen != "" {
+		family, seedStr, ok := strings.Cut(*gen, ":")
+		if !ok {
+			fmt.Fprintf(stderr, "vpsim: -gen wants family:seed (families: %s)\n",
+				strings.Join(repro.GeneratorFamilies(), ", "))
+			return 2
+		}
+		seed, err := strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpsim: -gen seed %q: %v\n", seedStr, err)
+			return 2
+		}
+		prog, err = repro.GenerateProgram(family, seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "vpsim:", err)
+			return 2
+		}
+	}
+
 	spec := repro.Spec{
 		Kernel:    *kernel,
 		Predictor: *pred,
@@ -134,6 +198,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "vpsim: unknown recovery %q (have squash, reissue)\n", *recovery)
 		return 2
+	}
+	if prog != nil {
+		// The content-addressed identity is computable before any backend
+		// exists; registration below may still fold it onto a builtin name.
+		spec.Kernel, spec.Program = "", repro.ProgramID(prog)
 	}
 	// Validate before any backend is built: an unknown kernel, an out-of-range
 	// override, or an unparseable -fpc-vector is a usage error that must fail
@@ -199,6 +268,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	defer runner.Close()
 
+	if prog != nil {
+		id, err := runner.RegisterProgram(ctx, prog)
+		if err != nil {
+			return fail(err)
+		}
+		spec.Program = id
+	}
 	rec, err := runner.Simulate(ctx, spec)
 	if err != nil {
 		return fail(err)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -152,6 +153,107 @@ func TestStoreDirPersistsAndReloads(t *testing.T) {
 	if first != second {
 		t.Errorf("store-backed rerun changed the record:\n--- first\n%s--- second\n%s", first, second)
 	}
+}
+
+// TestProgramAndGenWorkloads drives the workload-source flags: a -program
+// file (text and binary), the equivalent -gen spelling, and their identity —
+// all three must simulate the same content-addressed workload and print
+// identical reports.
+func TestProgramAndGenWorkloads(t *testing.T) {
+	prog, err := repro.GenerateProgram("mixed", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	vasm := filepath.Join(dir, "m.vasm")
+	bin := filepath.Join(dir, "m.isa")
+	if err := writeFile(vasm, repro.DisassembleProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(bin, prog.Encode()); err != nil {
+		t.Fatal(err)
+	}
+
+	base := append([]string{"-pred", "stride", "-format", "json"}, shortWindows...)
+	var reports []string
+	for _, src := range [][]string{
+		{"-program", vasm},
+		{"-program", bin},
+		{"-gen", "mixed:11"},
+	} {
+		out, errb, code := runArgs(t, append(append([]string{}, base...), src...)...)
+		if code != 0 {
+			t.Fatalf("%v exited %d: %s", src, code, errb)
+		}
+		if !strings.Contains(out, repro.ProgramID(prog)) {
+			t.Errorf("%v report does not carry the content-addressed id:\n%s", src, out)
+		}
+		reports = append(reports, out)
+	}
+	if reports[0] != reports[1] || reports[0] != reports[2] {
+		t.Errorf("workload sources disagree:\n%s\n%s\n%s", reports[0], reports[1], reports[2])
+	}
+}
+
+// TestProgramFlagUsageErrors: conflicting or malformed workload sources are
+// usage errors (exit 2) with actionable messages.
+func TestProgramFlagUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.vasm")
+	if err := writeFile(bad, []byte("frobnicate r1, r2\n")); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-program", bad},
+		{"-program", filepath.Join(dir, "missing.vasm")},
+		{"-program", bad, "-gen", "mixed:1"},
+		{"-kernel", "gzip", "-gen", "mixed:1"},
+		{"-gen", "mixed"},      // no seed
+		{"-gen", "mixed:x"},    // bad seed
+		{"-gen", "nofamily:1"}, // unknown family
+	} {
+		if _, errb, code := runArgs(t, args...); code != 2 {
+			t.Errorf("run(%v) exited %d (stderr %q), want 2", args, code, errb)
+		}
+	}
+}
+
+// TestProgramUploadsToServer: -program with -server must match the local
+// record exactly — the upload happens transparently.
+func TestProgramUploadsToServer(t *testing.T) {
+	srv, err := repro.NewServer(repro.ServerOptions{Warmup: 500, Measure: 2_000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	prog, err := repro.GenerateProgram("branchy", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(t.TempDir(), "b.vasm")
+	if err := writeFile(file, repro.DisassembleProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-program", file, "-pred", "lvp", "-format", "json"}
+	local, errb, code := runArgs(t, append(base, shortWindows...)...)
+	if code != 0 {
+		t.Fatalf("local exited %d: %s", code, errb)
+	}
+	remote, errb, code := runArgs(t, append(base, "-server", ts.URL)...)
+	if code != 0 {
+		t.Fatalf("remote exited %d: %s", code, errb)
+	}
+	if local != remote {
+		t.Errorf("backends disagree on the program workload:\n--- local\n%s--- remote\n%s", local, remote)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
 }
 
 // TestListKernels: -list prints every kernel.

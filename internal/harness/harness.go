@@ -152,6 +152,13 @@ type Spec struct {
 	// Counters.Vector(Recovery) would derive. Canonical specs keep Counters
 	// zero when FPCVec is set.
 	FPCVec string
+
+	// Program, when non-empty, names the workload by its content-addressed
+	// program reference ("prog:<sha256>", from Session.RegisterProgram)
+	// instead of a builtin kernel. Canonical() folds it into Kernel — the
+	// workload field the memo, store and snapshot keys use — so a spec may
+	// set either field; setting both to different workloads is invalid.
+	Program string
 }
 
 // defaultWidth is Table 2's machine width; defaultMaxHist is Table 1's
@@ -207,10 +214,17 @@ func ParseFPCVector(s string) (core.FPCVector, error) {
 //     the vector wins;
 //   - the baseline machine (predictor "none") sheds every predictor-only
 //     field (Counters, LoadsOnly, MaxHist, FPCVec) but keeps Width: a
-//     narrow machine's baseline is the narrow machine.
+//     narrow machine's baseline is the narrow machine;
+//   - a program reference moves from Program into Kernel, the one workload
+//     field everything keys on (prog: references and builtin kernel names
+//     are disjoint, so the merge is unambiguous).
 //
-// Unparseable FPCVec values are left untouched for Validate to report.
+// Unparseable FPCVec values and Kernel/Program conflicts are left untouched
+// for Validate to report.
 func (s Spec) Canonical() Spec {
+	if s.Program != "" && (s.Kernel == "" || s.Kernel == s.Program) {
+		s.Kernel, s.Program = s.Program, ""
+	}
 	if s.Width == defaultWidth {
 		s.Width = 0
 	}
@@ -251,8 +265,20 @@ func vtageFamily(predictor string) bool {
 // the service layer rejects invalid wire specs with it before scheduling,
 // and simulate applies it so direct harness users get the same errors.
 func (s Spec) Validate() error {
-	if !slices.Contains(kernels.Names(), s.Kernel) {
-		return fmt.Errorf("harness: unknown kernel %q", s.Kernel)
+	workload := s.Kernel
+	if s.Program != "" {
+		if s.Kernel != "" && s.Kernel != s.Program {
+			return fmt.Errorf("harness: spec names both kernel %q and program %q; set one workload", s.Kernel, s.Program)
+		}
+		workload = s.Program
+	}
+	if IsProgramRef(workload) {
+		if err := checkProgramRef(workload); err != nil {
+			return err
+		}
+	} else if !slices.Contains(kernels.Names(), workload) {
+		return fmt.Errorf("harness: unknown kernel %q (builtin kernels: %s; registered programs are referenced as prog:<sha256>)",
+			workload, strings.Join(kernels.Names(), ", "))
 	}
 	if !slices.Contains(PredictorNames, s.Predictor) {
 		return fmt.Errorf("harness: unknown predictor %q (have %v)", s.Predictor, PredictorNames)
@@ -364,9 +390,10 @@ type Session struct {
 	misses    uint64 // Run lookups that started a simulation
 	storeHits uint64 // Run lookups served by loading a persisted record
 
-	store *store.Store      // optional persistent tier under the memo (UseStore)
-	snaps *SnapshotCache    // optional warm-state snapshot cache (UseSnapshots)
-	fps   map[string]string // kernel → fingerprint, cached for store keying
+	store *store.Store            // optional persistent tier under the memo (UseStore)
+	snaps *SnapshotCache          // optional warm-state snapshot cache (UseSnapshots)
+	fps   map[string]string       // workload → fingerprint, cached for store keying
+	progs map[string]*isa.Program // registered programs by prog:<sha256> reference
 
 	obs atomic.Pointer[Observer] // optional metrics + run tracing (Observe)
 }
@@ -385,16 +412,18 @@ func NewSession(warmup, measure uint64) *Session {
 // DefaultSession sizes runs for interactive use (seconds per figure).
 func DefaultSession() *Session { return NewSession(50_000, 250_000) }
 
-// trace returns the kernel's instruction trace, generating it on first use.
-// Concurrent requests for the same kernel share one generation. ctx aborts
-// only this caller's wait: the generation itself always runs to completion,
-// because a trace is kernel-wide shared state every future run will want.
-func (se *Session) trace(ctx context.Context, kernel string) ([]isa.DynInst, error) {
+// trace returns the workload's instruction trace, generating it on first
+// use. The workload is a builtin kernel name or a registered program
+// reference; concurrent requests for the same workload share one generation.
+// ctx aborts only this caller's wait: the generation itself always runs to
+// completion, because a trace is workload-wide shared state every future run
+// will want.
+func (se *Session) trace(ctx context.Context, workload string) ([]isa.DynInst, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	se.mu.Lock()
-	c, ok := se.traces[kernel]
+	c, ok := se.traces[workload]
 	if ok {
 		se.mu.Unlock()
 		select {
@@ -405,13 +434,20 @@ func (se *Session) trace(ctx context.Context, kernel string) ([]isa.DynInst, err
 		}
 	}
 	c = &traceCall{done: make(chan struct{})}
-	se.traces[kernel] = c
+	se.traces[workload] = c
 	se.mu.Unlock()
 
-	if k, ok := kernels.ByName(kernel); ok {
+	if p, ok := se.Program(workload); ok {
+		c.tr = emu.Trace(p, int(se.Warmup+se.Measure))
+	} else if k, ok := kernels.ByName(workload); ok {
 		c.tr = emu.Trace(k.Build(), int(se.Warmup+se.Measure))
 	} else {
-		c.err = fmt.Errorf("harness: unknown kernel %q", kernel)
+		// Unresolvable today is not unresolvable forever: registering the
+		// program cures it, so drop the slot instead of caching the failure.
+		c.err = se.unknownWorkloadError(workload)
+		se.mu.Lock()
+		delete(se.traces, workload)
+		se.mu.Unlock()
 	}
 	close(c.done)
 	return c.tr, c.err
@@ -515,11 +551,12 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 		se.mu.Unlock()
 
 		c.res, c.err = se.simulate(ctx, spec, rt)
-		if c.err != nil && IsContextErr(c.err) {
+		if c.err != nil && (IsContextErr(c.err) || IsUnknownWorkload(c.err)) {
+			// Abandoned (caller state) or not-yet-registered (session state):
+			// either way the next request may succeed, so nothing is published.
 			se.mu.Lock()
 			delete(se.memo, spec)
 			se.mu.Unlock()
-			// Abandoned: the entry is gone, nothing was published.
 		} else if c.err == nil && st != nil {
 			// Write-behind: persist only clean successes — cancellations and
 			// errors are never stored, mirroring the memo invariant.
@@ -739,7 +776,10 @@ func (se *Session) sortedSpecs() []Spec {
 		if a.MaxHist != b.MaxHist {
 			return a.MaxHist < b.MaxHist
 		}
-		return a.FPCVec < b.FPCVec
+		if a.FPCVec != b.FPCVec {
+			return a.FPCVec < b.FPCVec
+		}
+		return a.Program < b.Program
 	})
 	return out
 }

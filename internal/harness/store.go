@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"repro/internal/kernels"
 	"repro/internal/pipeline"
@@ -43,18 +44,28 @@ func (s Spec) storeID() string {
 		s.Kernel, s.Predictor, s.Counters, s.Recovery, s.Width, s.LoadsOnly, s.MaxHist, s.FPCVec)
 }
 
-// kernelFingerprint hashes the kernel's encoded program, so a kernel whose
-// generated code changes invalidates its entries even without a version
-// bump. Cached per kernel for the session's lifetime.
-func (se *Session) kernelFingerprint(kernel string) (string, bool) {
+// workloadFingerprint hashes the workload's encoded program, so a kernel
+// whose generated code changes invalidates its entries even without a
+// version bump. A prog: reference carries its fingerprint in the reference
+// itself (it IS the content hash), which keeps store keys for uploaded
+// programs stable across processes — a fresh daemon can serve a warm store
+// entry for a program before anyone re-registers it. Builtin fingerprints
+// are cached per kernel for the session's lifetime.
+func (se *Session) workloadFingerprint(workload string) (string, bool) {
+	if IsProgramRef(workload) {
+		if checkProgramRef(workload) != nil {
+			return "", false
+		}
+		return strings.TrimPrefix(workload, progRefPrefix), true
+	}
 	se.mu.Lock()
-	if fp, ok := se.fps[kernel]; ok {
+	if fp, ok := se.fps[workload]; ok {
 		se.mu.Unlock()
 		return fp, true
 	}
 	se.mu.Unlock()
 
-	k, ok := kernels.ByName(kernel)
+	k, ok := kernels.ByName(workload)
 	if !ok {
 		return "", false
 	}
@@ -65,19 +76,19 @@ func (se *Session) kernelFingerprint(kernel string) (string, bool) {
 	if se.fps == nil {
 		se.fps = make(map[string]string)
 	}
-	se.fps[kernel] = fp
+	se.fps[workload] = fp
 	se.mu.Unlock()
 	return fp, true
 }
 
 // storeKey derives the entry key for spec under this session: canonical spec
-// identity, kernel fingerprint, the session's measurement windows (window
+// identity, workload fingerprint, the session's measurement windows (window
 // sizing is session-wide state that determines the result), and the
 // simulator version token. ok is false when the spec cannot be keyed
 // (unknown kernel) — the caller falls through to simulate, which reports the
 // real error.
 func (se *Session) storeKey(spec Spec) (key store.Key, id string, ok bool) {
-	fp, ok := se.kernelFingerprint(spec.Kernel)
+	fp, ok := se.workloadFingerprint(spec.Kernel)
 	if !ok {
 		return store.Key{}, "", false
 	}
@@ -88,12 +99,12 @@ func (se *Session) storeKey(spec Spec) (key store.Key, id string, ok bool) {
 
 // snapKey derives the warm-state snapshot key for spec: like storeKey but
 // without the measure window. A snapshot is taken at the warmup boundary,
-// so only warmup-affecting state goes into the key — spec identity, kernel
+// so only warmup-affecting state goes into the key — spec identity, workload
 // fingerprint, the warmup window, the version token. Sessions that differ
 // only in how long they measure share warm states; that cross-window reuse
 // is the snapshot cache's reason to exist alongside the result store.
 func (se *Session) snapKey(spec Spec) (key store.Key, ok bool) {
-	fp, ok := se.kernelFingerprint(spec.Kernel)
+	fp, ok := se.workloadFingerprint(spec.Kernel)
 	if !ok {
 		return store.Key{}, false
 	}

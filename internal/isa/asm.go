@@ -1,0 +1,654 @@
+package isa
+
+// Text assembly: a line-oriented, human-writable rendering of Program that
+// round-trips byte-exactly through the binary codec — for every program p,
+// Assemble(Disassemble(p)) encodes to the same bytes as p (pinned against
+// every builtin kernel in asm_test.go). The grammar mirrors Inst.String:
+//
+//	# whole-line comment; ';' comments to end of line anywhere
+//	.name gzip            program name (optional; overrides the default)
+//	.entry 3              entry PC (optional; instruction index or label)
+//	.reg r1 4096          initial register value
+//	.data 4096 1 2 3      seed memory: byte address, then 64-bit words
+//	loop:                 label (binds the next instruction's index)
+//	add r1, r2, r3        three-register ALU
+//	add r1, r2, #5        immediate ALU (Src2 = NoReg)
+//	movi r1, #42          load immediate
+//	mov r1, r2            register move (mov/fmov/fneg/fabs/i2f/f2i)
+//	ld r1, [r2+8]         load  (also [r2], [r2-8])
+//	ldx r1, [r2+r3]       indexed load
+//	st [r2+8], r3         store (address first, like the destination it is)
+//	beq r1, r2, loop      branch to label or absolute @12; '-' = compare to 0
+//	jmp loop / jr r1 / call r31, fn / ret r31 / nop / halt
+//	raw 1 2 3 255 -7      escape hatch: op dst src1 src2 imm, all numeric
+//
+// Numbers accept Go literal syntax (0x.., 0o.., decimal). Disassemble emits
+// the canonical form above with absolute @N branch targets; `raw` appears
+// only for decodable-but-unidiomatic field combinations (e.g. a nop with
+// register fields), so arbitrary Decode output still round-trips.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// opByName maps mnemonics to opcodes, built from the String table so the
+// two can never drift.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opName[op]] = op
+	}
+	return m
+}()
+
+// asmError is a parse failure with a 1-based source line.
+func asmError(line int, format string, args ...any) error {
+	return fmt.Errorf("isa: assemble: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// fixup is an unresolved label reference: slot selects which field of the
+// program receives the target PC.
+type fixup struct {
+	line  int
+	label string
+	pc    int // instruction index to patch (Imm), or -1 for the entry point
+}
+
+// Assemble parses text assembly into a validated Program. name is the
+// default program name, used when the source has no .name directive (CLI
+// loaders pass the file's base name).
+func Assemble(name string, src []byte) (*Program, error) {
+	p := &Program{Name: name}
+	labels := make(map[string]int)
+	var fixups []fixup
+
+	for lineNo, rawLine := range strings.Split(string(src), "\n") {
+		lineNo++ // 1-based for humans
+		line := rawLine
+		// ';' comments anywhere; '#' only at line start (inline it would be
+		// ambiguous with the '#' immediate prefix).
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+
+		// Labels: `name:` optionally followed by a directive or instruction.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isLabelName(label) {
+				return nil, asmError(lineNo, "bad label %q", label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, asmError(lineNo, "label %q defined twice", label)
+			}
+			labels[label] = len(p.Insts)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		if strings.HasPrefix(line, ".") {
+			if err := asmDirective(p, &fixups, lineNo, line); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		in, f, err := asmInst(lineNo, line, len(p.Insts))
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			fixups = append(fixups, *f)
+		}
+		p.Insts = append(p.Insts, in)
+	}
+
+	for _, f := range fixups {
+		t, ok := labels[f.label]
+		if !ok {
+			return nil, asmError(f.line, "undefined label %q", f.label)
+		}
+		if f.pc < 0 {
+			p.Entry = uint32(t)
+		} else {
+			p.Insts[f.pc].Imm = int64(t)
+		}
+	}
+	if err := CheckEncodable(p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: assemble: %w", err)
+	}
+	return p, nil
+}
+
+// asmDirective handles one .name/.entry/.reg/.data line.
+func asmDirective(p *Program, fixups *[]fixup, lineNo int, line string) error {
+	dir, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch dir {
+	case ".name":
+		if rest == "" {
+			return asmError(lineNo, ".name needs a value")
+		}
+		p.Name = rest
+	case ".entry":
+		if rest == "" {
+			return asmError(lineNo, ".entry needs an instruction index or label")
+		}
+		if n, err := strconv.ParseUint(strings.TrimPrefix(rest, "@"), 0, 32); err == nil {
+			p.Entry = uint32(n)
+		} else if isLabelName(rest) {
+			*fixups = append(*fixups, fixup{line: lineNo, label: rest, pc: -1})
+		} else {
+			return asmError(lineNo, "bad .entry %q", rest)
+		}
+	case ".reg":
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return asmError(lineNo, ".reg needs a register and a value")
+		}
+		r, err := parseReg(fields[0])
+		if err != nil || r == NoReg {
+			return asmError(lineNo, "bad register %q", fields[0])
+		}
+		v, err := parseU64(fields[1])
+		if err != nil {
+			return asmError(lineNo, "bad register value %q", fields[1])
+		}
+		if p.InitRegs == nil {
+			p.InitRegs = make(map[Reg]uint64)
+		}
+		if _, dup := p.InitRegs[r]; dup {
+			return asmError(lineNo, "register %s initialized twice", r)
+		}
+		p.InitRegs[r] = v
+	case ".data":
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			return asmError(lineNo, ".data needs an address")
+		}
+		addr, err := parseU64(fields[0])
+		if err != nil {
+			return asmError(lineNo, "bad .data address %q", fields[0])
+		}
+		seg := DataSeg{Addr: addr}
+		for _, f := range fields[1:] {
+			w, err := parseU64(f)
+			if err != nil {
+				return asmError(lineNo, "bad .data word %q", f)
+			}
+			seg.Words = append(seg.Words, w)
+		}
+		p.Data = append(p.Data, seg)
+	default:
+		return asmError(lineNo, "unknown directive %q", dir)
+	}
+	return nil
+}
+
+// asmInst parses one instruction line into the exact field encoding the
+// builder would emit, plus a label fixup when the target is symbolic.
+func asmInst(lineNo int, line string, pc int) (Inst, *fixup, error) {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	var ops []string
+	if rest != "" {
+		ops = strings.Split(rest, ",")
+		for i := range ops {
+			ops[i] = strings.TrimSpace(ops[i])
+		}
+	}
+	fail := func(format string, args ...any) (Inst, *fixup, error) {
+		return Inst{}, nil, asmError(lineNo, format, args...)
+	}
+	want := func(n int) error {
+		if len(ops) != n {
+			return asmError(lineNo, "%s takes %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	if mnem == "raw" {
+		fields := strings.Fields(rest)
+		if len(fields) != 5 {
+			return fail("raw takes 5 space-separated fields (op dst src1 src2 imm), got %d", len(fields))
+		}
+		var nums [4]uint64
+		for i := range 4 {
+			n, err := strconv.ParseUint(fields[i], 0, 8)
+			if err != nil {
+				return fail("bad raw field %q", fields[i])
+			}
+			nums[i] = n
+		}
+		imm, err := strconv.ParseInt(fields[4], 0, 64)
+		if err != nil {
+			return fail("bad raw immediate %q", fields[4])
+		}
+		if Op(nums[0]) >= numOps {
+			return fail("unknown opcode %d", nums[0])
+		}
+		return Inst{Op: Op(nums[0]), Dst: Reg(nums[1]), Src1: Reg(nums[2]), Src2: Reg(nums[3]), Imm: imm}, nil, nil
+	}
+
+	op, ok := opByName[strings.ToLower(mnem)]
+	if !ok {
+		return fail("unknown mnemonic %q", mnem)
+	}
+
+	// target parses a branch destination: @N absolute, or a label (returned
+	// as a fixup against this instruction).
+	var f *fixup
+	target := func(tok string) (int64, error) {
+		if strings.HasPrefix(tok, "@") {
+			return strconv.ParseInt(tok[1:], 0, 64)
+		}
+		if !isLabelName(tok) {
+			return 0, fmt.Errorf("bad target %q", tok)
+		}
+		f = &fixup{line: lineNo, label: tok, pc: pc}
+		return 0, nil
+	}
+
+	switch {
+	case op == NOP || op == HALT:
+		if err := want(0); err != nil {
+			return Inst{}, nil, err
+		}
+		return Inst{Op: op}, nil, nil
+
+	case op == MOVI:
+		if err := want(2); err != nil {
+			return Inst{}, nil, err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Inst{Op: op, Dst: d, Src1: NoReg, Src2: NoReg, Imm: imm}, nil, nil
+
+	case op == MOV || op == FMOV || op == FNEG || op == FABS || op == I2F || op == F2I:
+		if err := want(2); err != nil {
+			return Inst{}, nil, err
+		}
+		d, err1 := parseReg(ops[0])
+		s, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad register in %q", line)
+		}
+		return Inst{Op: op, Dst: d, Src1: s, Src2: NoReg}, nil, nil
+
+	case op == LD || op == FLD:
+		if err := want(2); err != nil {
+			return Inst{}, nil, err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		base, idx, off, err := parseMem(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if idx != NoReg {
+			return fail("%s takes a base+offset address; use ldx for base+index", mnem)
+		}
+		return Inst{Op: op, Dst: d, Src1: base, Src2: NoReg, Imm: off}, nil, nil
+
+	case op == LDX:
+		if err := want(2); err != nil {
+			return Inst{}, nil, err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		base, idx, off, err := parseMem(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if idx == NoReg || off != 0 {
+			return fail("ldx takes a [base+index] address")
+		}
+		return Inst{Op: op, Dst: d, Src1: base, Src2: idx}, nil, nil
+
+	case op == ST || op == FST:
+		if err := want(2); err != nil {
+			return Inst{}, nil, err
+		}
+		base, idx, off, err := parseMem(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if idx != NoReg {
+			return fail("%s takes a base+offset address", mnem)
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Inst{Op: op, Dst: NoReg, Src1: base, Src2: src, Imm: off}, nil, nil
+
+	case IsConditional(op):
+		if err := want(3); err != nil {
+			return Inst{}, nil, err
+		}
+		s1, err1 := parseReg(ops[0])
+		s2, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad register in %q", line)
+		}
+		imm, err := target(ops[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Inst{Op: op, Dst: NoReg, Src1: s1, Src2: s2, Imm: imm}, f, nil
+
+	case op == JMP:
+		if err := want(1); err != nil {
+			return Inst{}, nil, err
+		}
+		imm, err := target(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Inst{Op: op, Dst: NoReg, Src1: NoReg, Src2: NoReg, Imm: imm}, f, nil
+
+	case op == JR || op == RET:
+		if err := want(1); err != nil {
+			return Inst{}, nil, err
+		}
+		s, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Inst{Op: op, Dst: NoReg, Src1: s, Src2: NoReg}, nil, nil
+
+	case op == CALL:
+		if err := want(2); err != nil {
+			return Inst{}, nil, err
+		}
+		link, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, err := target(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Inst{Op: op, Dst: link, Src1: NoReg, Src2: NoReg, Imm: imm}, f, nil
+
+	default: // three-operand ALU / FP, with optional immediate forms
+		if len(ops) != 3 && len(ops) != 4 {
+			return fail("%s takes 3 operands (or 4 with a trailing immediate), got %d", mnem, len(ops))
+		}
+		d, err1 := parseReg(ops[0])
+		s1, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad register in %q", line)
+		}
+		if strings.HasPrefix(ops[2], "#") { // immediate form: Src2 = NoReg
+			if len(ops) != 3 {
+				return fail("immediate %s takes 3 operands", mnem)
+			}
+			imm, err := parseImm(ops[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			return Inst{Op: op, Dst: d, Src1: s1, Src2: NoReg, Imm: imm}, nil, nil
+		}
+		s2, err := parseReg(ops[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		var imm int64
+		if len(ops) == 4 {
+			if imm, err = parseImm(ops[3]); err != nil {
+				return fail("%v", err)
+			}
+		}
+		return Inst{Op: op, Dst: d, Src1: s1, Src2: s2, Imm: imm}, nil, nil
+	}
+}
+
+// isLabelName reports whether s is a plausible label: an identifier that
+// cannot be confused with a register, immediate, or target literal.
+func isLabelName(s string) bool {
+	if s == "" || s == "-" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseReg parses r0..r31, f0..f31, or '-' for NoReg.
+func parseReg(tok string) (Reg, error) {
+	if tok == "-" {
+		return NoReg, nil
+	}
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'f' || tok[0] == 'R' || tok[0] == 'F') {
+		if n, err := strconv.ParseUint(tok[1:], 10, 8); err == nil && n < 32 {
+			if tok[0] == 'f' || tok[0] == 'F' {
+				return Reg(n + 32), nil
+			}
+			return Reg(n), nil
+		}
+	}
+	return NoReg, fmt.Errorf("bad register %q", tok)
+}
+
+// parseImm parses a '#'-prefixed signed immediate.
+func parseImm(tok string) (int64, error) {
+	if !strings.HasPrefix(tok, "#") {
+		return 0, fmt.Errorf("immediate %q must start with '#'", tok)
+	}
+	n, err := strconv.ParseInt(tok[1:], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return n, nil
+}
+
+// parseU64 parses an unsigned 64-bit value, accepting negative literals as
+// their two's-complement bit pattern (handy for .reg seeds).
+func parseU64(tok string) (uint64, error) {
+	if n, err := strconv.ParseUint(tok, 0, 64); err == nil {
+		return n, nil
+	}
+	n, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(n), nil
+}
+
+// parseMem parses a bracketed address: [base], [base+off], [base-off], or
+// [base+index]. Returns idx == NoReg for the offset forms.
+func parseMem(tok string) (base, idx Reg, off int64, err error) {
+	if len(tok) < 2 || tok[0] != '[' || tok[len(tok)-1] != ']' {
+		return NoReg, NoReg, 0, fmt.Errorf("bad address %q (want [reg], [reg+off], or [reg+reg])", tok)
+	}
+	inner := strings.TrimSpace(tok[1 : len(tok)-1])
+	i := strings.IndexAny(inner, "+-")
+	if i < 0 {
+		base, err = parseReg(inner)
+		return base, NoReg, 0, err
+	}
+	base, err = parseReg(strings.TrimSpace(inner[:i]))
+	if err != nil {
+		return NoReg, NoReg, 0, err
+	}
+	rest := strings.TrimSpace(inner[i:])
+	if inner[i] == '+' {
+		if r, rerr := parseReg(strings.TrimSpace(rest[1:])); rerr == nil {
+			return base, r, 0, nil
+		}
+	}
+	off, err = strconv.ParseInt(rest, 0, 64)
+	if err != nil {
+		return NoReg, NoReg, 0, fmt.Errorf("bad address offset %q", rest)
+	}
+	return base, NoReg, off, nil
+}
+
+// Disassemble renders p as text assembly that Assemble parses back to a
+// byte-identical encoding. Output order: .name, .entry, .reg (ascending),
+// .data (program order), then instructions with absolute @N targets.
+func Disassemble(p *Program) []byte {
+	var b bytes.Buffer
+	if p.Name != "" {
+		fmt.Fprintf(&b, ".name %s\n", p.Name)
+	}
+	if p.Entry != 0 {
+		fmt.Fprintf(&b, ".entry %d\n", p.Entry)
+	}
+	regs := make([]Reg, 0, len(p.InitRegs))
+	for r := range p.InitRegs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		fmt.Fprintf(&b, ".reg %s %d\n", r, p.InitRegs[r])
+	}
+	for _, seg := range p.Data {
+		fmt.Fprintf(&b, ".data %d", seg.Addr)
+		for _, w := range seg.Words {
+			fmt.Fprintf(&b, " %d", w)
+		}
+		b.WriteByte('\n')
+	}
+	for _, in := range p.Insts {
+		b.WriteString(renderInst(in))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// renderInst emits the canonical text for one instruction, falling back to
+// the raw escape for field combinations the grammar has no idiom for.
+func renderInst(in Inst) string {
+	raw := func() string {
+		return fmt.Sprintf("raw %d %d %d %d %d", uint8(in.Op), uint8(in.Dst), uint8(in.Src1), uint8(in.Src2), in.Imm)
+	}
+	switch {
+	case in.Op == NOP || in.Op == HALT:
+		if in.Dst != 0 || in.Src1 != 0 || in.Src2 != 0 || in.Imm != 0 {
+			return raw()
+		}
+		return in.Op.String()
+	case in.Op == MOVI:
+		if in.Src1 != NoReg || in.Src2 != NoReg {
+			return raw()
+		}
+		return fmt.Sprintf("movi %s, #%d", in.Dst, in.Imm)
+	case in.Op == MOV || in.Op == FMOV || in.Op == FNEG || in.Op == FABS || in.Op == I2F || in.Op == F2I:
+		if in.Src2 != NoReg || in.Imm != 0 {
+			return raw()
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src1)
+	case in.Op == LD || in.Op == FLD:
+		if in.Src2 != NoReg {
+			return raw()
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, renderAddr(in.Src1, in.Imm))
+	case in.Op == LDX:
+		if in.Imm != 0 {
+			return raw()
+		}
+		return fmt.Sprintf("ldx %s, [%s+%s]", in.Dst, in.Src1, in.Src2)
+	case in.Op == ST || in.Op == FST:
+		if in.Dst != NoReg {
+			return raw()
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, renderAddr(in.Src1, in.Imm), in.Src2)
+	case IsConditional(in.Op):
+		if in.Dst != NoReg {
+			return raw()
+		}
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Imm)
+	case in.Op == JMP:
+		if in.Dst != NoReg || in.Src1 != NoReg || in.Src2 != NoReg {
+			return raw()
+		}
+		return fmt.Sprintf("jmp @%d", in.Imm)
+	case in.Op == JR || in.Op == RET:
+		if in.Dst != NoReg || in.Src2 != NoReg || in.Imm != 0 {
+			return raw()
+		}
+		return fmt.Sprintf("%s %s", in.Op, in.Src1)
+	case in.Op == CALL:
+		if in.Src1 != NoReg || in.Src2 != NoReg {
+			return raw()
+		}
+		return fmt.Sprintf("call %s, @%d", in.Dst, in.Imm)
+	default: // three-operand ALU / FP
+		if in.Src2 == NoReg {
+			return fmt.Sprintf("%s %s, %s, #%d", in.Op, in.Dst, in.Src1, in.Imm)
+		}
+		if in.Imm != 0 {
+			return fmt.Sprintf("%s %s, %s, %s, #%d", in.Op, in.Dst, in.Src1, in.Src2, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// renderAddr formats a base+offset memory operand.
+func renderAddr(base Reg, off int64) string {
+	switch {
+	case off == 0:
+		return fmt.Sprintf("[%s]", base)
+	case off < 0:
+		return fmt.Sprintf("[%s%d]", base, off)
+	default:
+		return fmt.Sprintf("[%s+%d]", base, off)
+	}
+}
+
+// Load parses a program from either supported file format, sniffing the
+// binary codec's magic: VPP1 bytes decode, anything else assembles as text.
+// name is the default program name for text sources without a .name.
+func Load(name string, data []byte) (*Program, error) {
+	if bytes.HasPrefix(data, []byte(codecMagic)) {
+		p, err := Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	return Assemble(name, data)
+}

@@ -35,28 +35,39 @@ const (
 	maxCodecWords = 1 << 16
 )
 
+// CheckEncodable reports whether the program fits within the codec caps
+// shared with Decode. Encode panics on violation; callers accepting programs
+// from untrusted producers (the assembler, program uploads) check first and
+// return the error instead.
+func CheckEncodable(p *Program) error {
+	switch {
+	case len(p.Name) > maxCodecName:
+		return fmt.Errorf("isa: program name %d bytes exceeds codec cap %d", len(p.Name), maxCodecName)
+	case len(p.Insts) > maxCodecInsts:
+		return fmt.Errorf("isa: %d instructions exceed codec cap %d", len(p.Insts), maxCodecInsts)
+	case len(p.Data) > maxCodecSegs:
+		return fmt.Errorf("isa: %d data segments exceed codec cap %d", len(p.Data), maxCodecSegs)
+	case len(p.InitRegs) > math.MaxUint8:
+		return fmt.Errorf("isa: %d initial registers exceed codec cap %d", len(p.InitRegs), math.MaxUint8)
+	}
+	for _, seg := range p.Data {
+		if len(seg.Words) > maxCodecWords {
+			return fmt.Errorf("isa: %d segment words exceed codec cap %d", len(seg.Words), maxCodecWords)
+		}
+	}
+	return nil
+}
+
 // Encode serializes the program. The output is deterministic: initial
 // registers are emitted in ascending register order. Encode panics if the
 // program exceeds the codec caps shared with Decode — truncating silently
 // would produce a decodable encoding of a *different* program, and every
 // in-repo producer (builder, kernels, fuzz recipes) is far below the caps.
 func (p *Program) Encode() []byte {
+	if err := CheckEncodable(p); err != nil {
+		panic("isa: Encode: " + err.Error())
+	}
 	name := p.Name
-	switch {
-	case len(name) > maxCodecName:
-		panic(fmt.Sprintf("isa: Encode: program name %d bytes exceeds codec cap %d", len(name), maxCodecName))
-	case len(p.Insts) > maxCodecInsts:
-		panic(fmt.Sprintf("isa: Encode: %d instructions exceed codec cap %d", len(p.Insts), maxCodecInsts))
-	case len(p.Data) > maxCodecSegs:
-		panic(fmt.Sprintf("isa: Encode: %d data segments exceed codec cap %d", len(p.Data), maxCodecSegs))
-	case len(p.InitRegs) > math.MaxUint8:
-		panic(fmt.Sprintf("isa: Encode: %d initial registers exceed codec cap %d", len(p.InitRegs), math.MaxUint8))
-	}
-	for _, seg := range p.Data {
-		if len(seg.Words) > maxCodecWords {
-			panic(fmt.Sprintf("isa: Encode: %d segment words exceed codec cap %d", len(seg.Words), maxCodecWords))
-		}
-	}
 	out := make([]byte, 0, 16+len(name)+12*len(p.Insts))
 	out = append(out, codecMagic...)
 	out = append(out, byte(len(name)))

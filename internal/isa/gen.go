@@ -1,0 +1,239 @@
+package isa
+
+// Seeded random-program generator for corpus production: Generate(family,
+// seed) is a pure function of its arguments, so a corpus is reproducible
+// from its (family, seed) pairs alone and two hosts generating the same
+// pair get byte-identical Encode() output. Programs follow the builtin
+// kernel convention of looping forever — the trace generator bounds
+// execution by µop count, not by HALT.
+//
+// Families stress different predictor mechanisms (DESIGN.md §11):
+//
+//	branchy  data-dependent biased branches over an LCG stream — branch
+//	         predictor pressure plus control-flow-dependent value locality
+//	memory   pointer chasing and strided array walks — load-value patterns
+//	         from constant to stride to context-dependent
+//	mixed    integer/FP arithmetic, loads, stores, calls — a balanced mix
+//	         like the paper's general-purpose SPEC workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Families lists the generator families in stable order.
+func Families() []string { return []string{"branchy", "memory", "mixed"} }
+
+// splitmix64 is the PRNG behind Generate: tiny, deterministic, and decoupled
+// from math/rand so library changes can never alter a published corpus.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// odd returns a random odd 64-bit constant (full-period LCG multipliers).
+func (r *splitmix64) odd() uint64 { return r.next() | 1 }
+
+// Generate builds the deterministic program for (family, seed). Identical
+// arguments always produce identical programs.
+func Generate(family string, seed uint64) (*Program, error) {
+	rng := &splitmix64{s: seed}
+	name := fmt.Sprintf("%s-%d", family, seed)
+	b := NewBuilder(name)
+	switch family {
+	case "branchy":
+		genBranchy(b, rng)
+	case "memory":
+		genMemory(b, rng)
+	case "mixed":
+		genMixed(b, rng)
+	default:
+		return nil, fmt.Errorf("isa: unknown generator family %q (have %s)", family, strings.Join(Families(), ", "))
+	}
+	return b.Program(), nil
+}
+
+// seedWords fills addr with n pseudo-random words and returns addr.
+func seedWords(b *Builder, rng *splitmix64, addr uint64, n int) uint64 {
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = rng.next()
+	}
+	return b.Data(addr, words...)
+}
+
+// seedCycle fills addr with a single pointer-chase cycle over n slots
+// (n a power of two): slot i holds the index of the next slot, visiting
+// every slot before repeating.
+func seedCycle(b *Builder, rng *splitmix64, addr uint64, n int) uint64 {
+	stride := uint64(rng.intn(n/2))*2 + 1 // odd => full cycle mod a power of two
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = (uint64(i) + stride) % uint64(n)
+	}
+	return b.Data(addr, words...)
+}
+
+// genBranchy emits an infinite loop of 4-8 blocks, each updating an LCG and
+// branching on a narrow mask of its state — biased, data-dependent branches
+// with short arithmetic shadows, plus an occasional call for RAS traffic.
+func genBranchy(b *Builder, rng *splitmix64) {
+	const base = 1 << 16
+	seedWords(b, rng, base, 64)
+	b.InitReg(R1, base)      // scratch array
+	b.InitReg(R2, rng.odd()) // LCG state
+	b.InitReg(R3, 0)         // iteration counter
+
+	// A tiny callee ahead of the loop so calls have somewhere to land.
+	fn := b.NewLabel()
+	entry := b.NewLabel()
+	b.Jmp(entry)
+	b.Bind(fn)
+	b.Addi(R8, R8, int64(rng.intn(64)+1))
+	b.Andi(R8, R8, 0xffff)
+	b.Ret(R31)
+
+	b.Bind(entry)
+	top := b.Here()
+	blocks := 4 + rng.intn(5)
+	for i := 0; i < blocks; i++ {
+		// LCG step with per-seed constants: the value stream (and thus the
+		// branch bias pattern) differs across seeds.
+		b.Muli(R2, R2, int64(rng.odd()))
+		b.Addi(R2, R2, int64(rng.next()|1))
+		mask := int64(1)<<(1+rng.intn(3)) - 1 // 1, 3, or 7: biased direction
+		b.Andi(R4, R2, mask)
+		skip := b.NewLabel()
+		if rng.intn(2) == 0 {
+			b.Beqz(R4, skip)
+		} else {
+			b.Bnez(R4, skip)
+		}
+		for n := rng.intn(3) + 1; n > 0; n-- {
+			switch rng.intn(3) {
+			case 0:
+				b.Addi(R5, R5, int64(rng.intn(255)+1))
+			case 1:
+				b.Xori(R6, R2, int64(rng.intn(1<<16)))
+			default:
+				b.Shli(R7, R5, int64(rng.intn(5)+1))
+			}
+		}
+		if rng.intn(4) == 0 {
+			b.Call(R31, fn)
+		}
+		b.Bind(skip)
+	}
+	// Touch memory so the family isn't branch-only, then loop.
+	b.Andi(R9, R2, 63*8)
+	b.Ldx(R10, R1, R9)
+	b.Addi(R3, R3, 1)
+	b.Jmp(top)
+}
+
+// genMemory emits an infinite loop mixing a pointer chase (loads whose
+// values are the addresses of the next loads), a strided read walk, and a
+// rotating store — the paper's spectrum of load-value predictability.
+func genMemory(b *Builder, rng *splitmix64) {
+	const (
+		chase   = 1 << 16 // pointer-chase cycle, 256 slots
+		arr     = 1 << 17 // strided walk array, 512 words
+		out     = 1 << 18 // store target, 64 words
+		chaseN  = 256
+		arrN    = 512
+		outMask = 63 * 8
+	)
+	seedCycle(b, rng, chase, chaseN)
+	seedWords(b, rng, arr, arrN)
+	seedWords(b, rng, out, 64)
+	b.InitReg(R1, chase)
+	b.InitReg(R2, uint64(rng.intn(chaseN))) // chase position
+	b.InitReg(R3, arr)
+	b.InitReg(R4, 0) // walk offset
+	b.InitReg(R5, out)
+	b.InitReg(R6, 0) // store offset
+	b.InitReg(R7, 0) // accumulator
+
+	stride := int64(rng.intn(8)+1) * 8
+	top := b.Here()
+	// Pointer chase: R2 = mem[chase + R2*8].
+	b.Shli(R8, R2, 3)
+	b.Ldx(R2, R1, R8)
+	// Strided walk with wraparound.
+	chunk := rng.intn(3) + 1
+	for i := 0; i < chunk; i++ {
+		b.Ldx(R9, R3, R4)
+		b.Add(R7, R7, R9)
+		b.Addi(R4, R4, stride)
+		b.Andi(R4, R4, int64(arrN-1)*8)
+	}
+	// Rotating store of the accumulator.
+	b.Ldx(R10, R5, R6) // read-modify-write keeps a dependent load in the mix
+	b.Add(R10, R10, R7)
+	b.Shri(R11, R6, 3)
+	b.St(R5, 0, R10) // fixed-address store; the rotating slot below varies
+	b.Addi(R6, R6, 8)
+	b.Andi(R6, R6, outMask)
+	b.Addi(R11, R11, 1)
+	b.Jmp(top)
+}
+
+// genMixed emits a balanced loop: integer and FP arithmetic, a couple of
+// loads and a store, and a compare-driven branch — the general-purpose
+// profile of the paper's SPEC-like kernels.
+func genMixed(b *Builder, rng *splitmix64) {
+	const (
+		ints = 1 << 16 // 128 integer words
+		fps  = 1 << 17 // 64 float words
+		outA = 1 << 18
+	)
+	seedWords(b, rng, ints, 128)
+	fvals := make([]float64, 64)
+	frng := &splitmix64{s: rng.next()}
+	for i := range fvals {
+		fvals[i] = 1 + float64(frng.intn(1000))/7
+	}
+	b.DataF(fps, fvals...)
+	seedWords(b, rng, outA, 16)
+	b.InitReg(R1, ints)
+	b.InitReg(R2, fps)
+	b.InitReg(R3, outA)
+	b.InitReg(R4, 0)         // index
+	b.InitReg(R5, rng.odd()) // LCG state
+	b.InitReg(R6, 0)         // accumulator
+
+	top := b.Here()
+	// Integer phase: LCG plus a dependent load.
+	b.Muli(R5, R5, int64(rng.odd()))
+	b.Addi(R5, R5, int64(rng.next()|1))
+	b.Andi(R7, R5, 127*8)
+	b.Ldx(R8, R1, R7)
+	b.Add(R6, R6, R8)
+	// FP phase: load, multiply-accumulate, occasional convert back.
+	b.Andi(R9, R4, 63*8)
+	b.Ldx(R10, R2, R9) // raw bits as integer load keeps an extra load
+	b.Fld(F1, R2, int64(rng.intn(64))*8)
+	b.Fmul(F2, F1, F1)
+	b.Fadd(F3, F3, F2)
+	if rng.intn(2) == 0 {
+		b.F2i(R11, F3)
+		b.Add(R6, R6, R11)
+	}
+	// Store and compare-driven branch.
+	b.St(R3, int64(rng.intn(16))*8, R6)
+	b.Addi(R4, R4, 8)
+	b.Cmplti(R12, R4, int64(rng.intn(4096)+1024))
+	skip := b.NewLabel()
+	b.Bnez(R12, skip)
+	b.Li(R4, 0)
+	b.Bind(skip)
+	b.Jmp(top)
+}

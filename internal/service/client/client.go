@@ -104,6 +104,31 @@ func (c *Client) Simulate(ctx context.Context, spec service.SpecRequest) (harnes
 	return rec, err
 }
 
+// UploadProgram registers a binary-encoded program with the daemon (POST
+// /v1/programs) and returns its canonical workload id. Content-addressed and
+// idempotent: the same bytes always answer the same id, from any client.
+func (c *Client) UploadProgram(ctx context.Context, encoded []byte) (service.ProgramInfo, error) {
+	var info service.ProgramInfo
+	err := c.do(ctx, http.MethodPost, "/v1/programs", service.ProgramRequest{Encoded: encoded}, &info)
+	return info, err
+}
+
+// UploadAssembly registers a program from text-assembly source (POST
+// /v1/programs); name is used when the source has no .name directive.
+func (c *Client) UploadAssembly(ctx context.Context, name, src string) (service.ProgramInfo, error) {
+	var info service.ProgramInfo
+	err := c.do(ctx, http.MethodPost, "/v1/programs", service.ProgramRequest{Assembly: src, Name: name}, &info)
+	return info, err
+}
+
+// Programs lists the daemon's registered programs in id order (GET
+// /v1/programs).
+func (c *Client) Programs(ctx context.Context) ([]service.ProgramInfo, error) {
+	var out []service.ProgramInfo
+	err := c.do(ctx, http.MethodGet, "/v1/programs", nil, &out)
+	return out, err
+}
+
 // SubmitBatch submits a spec batch (POST /v1/batch) and returns the
 // accepted job's status.
 func (c *Client) SubmitBatch(ctx context.Context, specs []service.SpecRequest) (service.JobStatus, error) {

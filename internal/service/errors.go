@@ -16,6 +16,12 @@ const (
 	CodeDraining   = "draining"    // server is shutting down; retry elsewhere
 	CodeTimeout    = "timeout"     // synchronous request exceeded its budget
 	CodeInternal   = "internal"    // everything else
+
+	// CodeUnknownProgram marks a spec naming a prog:<sha256> reference the
+	// daemon has not seen. It is distinct from CodeNotFound because it is
+	// curable: upload the program (POST /v1/programs) and retry — the
+	// RemoteRunner does exactly that, transparently.
+	CodeUnknownProgram = "unknown_program"
 )
 
 // codeForStatus derives the error code from the HTTP status the handlers

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -144,6 +145,8 @@ func New(o Options) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.handle("POST /v1/simulate", "simulate", s.handleSimulate)
 	s.handle("POST /v1/batch", "batch", s.handleBatch)
+	s.handle("POST /v1/programs", "program_upload", s.handleProgramUpload)
+	s.handle("GET /v1/programs", "programs", s.handleProgramList)
 	s.handle("GET /v1/experiments", "experiments", s.handleExperimentIndex)
 	s.handle("POST /v1/experiments/{id}", "experiment", s.handleExperiment)
 	s.handle("GET /v1/jobs", "jobs", s.handleJobList)
@@ -278,10 +281,16 @@ var (
 // code is derived from the HTTP status, so the typed client can rebuild the
 // identical error value on the other side.
 func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	apiErrorCode(w, status, codeForStatus(status), format, args...)
+}
+
+// apiErrorCode is apiError with an explicit code, for the few errors whose
+// code carries more than the status does (CodeUnknownProgram rides a 404).
+func apiErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(APIError{
-		Code: codeForStatus(status),
+		Code: code,
 		Msg:  fmt.Sprintf(format, args...),
 	})
 }
@@ -312,6 +321,98 @@ func admissionStatus(err error) int {
 	return http.StatusTooManyRequests
 }
 
+// handleProgramUpload registers a workload program with the daemon's session
+// (POST /v1/programs). The body carries the program as binary encoding or
+// text-assembly source; the response is its canonical workload id — content-
+// addressed, so uploading the same bytes twice (from any client) is an
+// idempotent no-op answering the same id.
+func (s *Server) handleProgramUpload(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var p *isa.Program
+	var err error
+	switch {
+	case len(req.Encoded) > 0 && req.Assembly != "":
+		apiError(w, http.StatusBadRequest,
+			"program request carries both encoded bytes and assembly source; send exactly one")
+		return
+	case len(req.Encoded) > 0:
+		p, err = isa.Decode(req.Encoded)
+	case req.Assembly != "":
+		p, err = isa.Assemble(req.Name, []byte(req.Assembly))
+	default:
+		apiError(w, http.StatusBadRequest,
+			"empty program request: send encoded bytes or assembly source")
+		return
+	}
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		apiError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	id, err := s.session.RegisterProgram(p)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProgramInfo{
+		ID: id, Name: p.Name, Insts: len(p.Insts), Bytes: len(p.Encode()),
+	})
+}
+
+// handleProgramList answers GET /v1/programs with the registered programs in
+// id order. Uploads that deduplicated onto a builtin kernel do not appear —
+// they are the builtin.
+func (s *Server) handleProgramList(w http.ResponseWriter, r *http.Request) {
+	ids := s.session.ProgramIDs()
+	out := make([]ProgramInfo, 0, len(ids))
+	for _, id := range ids {
+		p, ok := s.session.Program(id)
+		if !ok {
+			continue
+		}
+		out = append(out, ProgramInfo{
+			ID: id, Name: p.Name, Insts: len(p.Insts), Bytes: len(p.Encode()),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// checkPrograms verifies every prog: reference in specs against the
+// session's registry before admitting work, so a spec naming a program this
+// daemon never received fails fast with the curable CodeUnknownProgram (the
+// RemoteRunner reacts by uploading and retrying) instead of dying inside a
+// job. Reports false after writing the error.
+func (s *Server) checkPrograms(w http.ResponseWriter, specs ...harness.Spec) bool {
+	for _, sp := range specs {
+		if !harness.IsProgramRef(sp.Kernel) {
+			continue
+		}
+		if _, ok := s.session.Program(sp.Kernel); ok {
+			continue
+		}
+		if ids := s.session.ProgramIDs(); len(ids) > 0 {
+			apiErrorCode(w, http.StatusNotFound, CodeUnknownProgram,
+				"unknown program %q (uploaded: %s); POST /v1/programs to register it",
+				sp.Kernel, strings.Join(ids, ", "))
+		} else {
+			apiErrorCode(w, http.StatusNotFound, CodeUnknownProgram,
+				"unknown program %q: no programs uploaded to this daemon (POST /v1/programs first)",
+				sp.Kernel)
+		}
+		return false
+	}
+	return true
+}
+
 // handleSimulate runs one spec synchronously within the request budget,
 // scheduling it (and the baseline its speedup needs) through the shared
 // worker pool, and answers with the flattened Record.
@@ -323,6 +424,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	spec, err := req.Spec()
 	if err != nil {
 		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkPrograms(w, spec) {
 		return
 	}
 	// The draining check and the syncWG.Add share one critical section:
@@ -375,11 +479,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if d.err != nil {
-			code := http.StatusInternalServerError
-			if harness.IsContextErr(d.err) {
-				code = http.StatusGatewayTimeout
+			switch {
+			case harness.IsContextErr(d.err):
+				apiError(w, http.StatusGatewayTimeout, "%v", d.err)
+			case harness.IsUnknownWorkload(d.err):
+				// Belt and braces behind checkPrograms: the session cannot
+				// forget a program, but keep the curable code if it ever does.
+				apiErrorCode(w, http.StatusNotFound, CodeUnknownProgram, "%v", d.err)
+			default:
+				apiError(w, http.StatusInternalServerError, "%v", d.err)
 			}
-			apiError(w, code, "%v", d.err)
 			return
 		}
 		if d.idx == 0 {
@@ -434,6 +543,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		specs[i] = sp
+	}
+	if !s.checkPrograms(w, specs...) {
+		return
 	}
 	s.startJob(w, r, "batch", "", specs)
 }
@@ -625,6 +737,7 @@ func (s *Server) Stats() ServerStats {
 		Jobs:          jobs,
 		ActiveJobs:    active,
 		Draining:      draining,
+		Programs:      s.session.ProgramCount(),
 		Limits: Limits{
 			MaxJobs:          s.opts.MaxJobs,
 			MaxBatch:         s.opts.MaxBatch,

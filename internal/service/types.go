@@ -24,7 +24,13 @@ import (
 // VTAGE's history length (vtage-family predictors only), and FPCVector
 // ("0,2,2,2,2,3,3") replaces the counters-derived probability vector.
 type SpecRequest struct {
-	Kernel    string `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Program names the workload by content-addressed reference
+	// ("prog:<sha256>", from POST /v1/programs) instead of a builtin kernel
+	// name. Set one of Kernel and Program; a prog: reference in Kernel is
+	// also accepted (the canonical spec carries the workload there), so
+	// RequestFor round-trips program specs through the Kernel field.
+	Program   string `json:"program,omitempty"`
 	Predictor string `json:"predictor"`
 	Counters  string `json:"counters,omitempty"`
 	Recovery  string `json:"recovery,omitempty"`
@@ -39,7 +45,7 @@ type SpecRequest struct {
 // so the wire layer and the Go API accept exactly the same configurations.
 func (r SpecRequest) Spec() (harness.Spec, error) {
 	var s harness.Spec
-	s.Kernel, s.Predictor = r.Kernel, r.Predictor
+	s.Kernel, s.Program, s.Predictor = r.Kernel, r.Program, r.Predictor
 	switch r.Counters {
 	case "", "baseline":
 		s.Counters = harness.BaselineCounters
@@ -90,6 +96,27 @@ func RequestFor(s harness.Spec) SpecRequest {
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
 	Specs []SpecRequest `json:"specs"`
+}
+
+// ProgramRequest is the body of POST /v1/programs: exactly one of Encoded
+// (the program's binary encoding, base64 on the wire per encoding/json) and
+// Assembly (text-assembly source, DESIGN.md §11). Name optionally overrides
+// the program's display name when assembling source with no .name directive;
+// it never affects an Encoded upload (the bytes are the identity).
+type ProgramRequest struct {
+	Encoded  []byte `json:"encoded,omitempty"`
+	Assembly string `json:"assembly,omitempty"`
+	Name     string `json:"name,omitempty"`
+}
+
+// ProgramInfo describes one registered program: the workload string to put
+// in SpecRequest.Program (a prog: reference — or a builtin kernel name, when
+// the upload was byte-identical to that builtin), plus display metadata.
+type ProgramInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Insts int    `json:"insts"`
+	Bytes int    `json:"bytes"`
 }
 
 // Job states.
@@ -205,7 +232,11 @@ type ServerStats struct {
 	Jobs          map[string]int `json:"jobs"`
 	ActiveJobs    int            `json:"active_jobs"`
 	Draining      bool           `json:"draining"`
-	Store         *StoreStats    `json:"store,omitempty"`
+	// Programs counts the workloads registered via POST /v1/programs (or
+	// Session.RegisterProgram) over the daemon's lifetime. Uploads that
+	// deduplicated onto a builtin kernel are not counted — they added nothing.
+	Programs int         `json:"programs"`
+	Store    *StoreStats `json:"store,omitempty"`
 
 	// Snapshots reports the warm-state snapshot cache (harness
 	// SnapshotCache.Stats), present unless the cache was disabled with a

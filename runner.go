@@ -55,6 +55,15 @@ type Runner interface {
 	// Experiments returns the experiment index the backend serves.
 	Experiments(ctx context.Context) ([]ExperimentInfo, error)
 
+	// RegisterProgram promotes p to a first-class workload of this backend
+	// and returns the workload string to put in Spec.Program: normally the
+	// content-addressed "prog:<sha256>" reference, or the builtin kernel's
+	// name when p is byte-identical to one. A LocalRunner registers it on
+	// the warm session; a RemoteRunner uploads it (POST /v1/programs) and
+	// re-uploads transparently if the daemon restarts, so program specs
+	// behave identically across backends.
+	RegisterProgram(ctx context.Context, p *Program) (string, error)
+
 	// Close releases the runner's resources. The error is always nil today;
 	// the signature leaves room for backends with real shutdown work.
 	Close() error

@@ -195,6 +195,17 @@ func (r *LocalRunner) Experiment(ctx context.Context, id string, o ExperimentOpt
 	return harness.Render(ctx, se, e, o.Format, workers, w)
 }
 
+// RegisterProgram adds p to the runner's session registry and returns its
+// canonical workload string (Runner interface). Content-addressed and
+// idempotent; a program byte-identical to a builtin kernel answers the
+// builtin's name and shares all of its cached state.
+func (r *LocalRunner) RegisterProgram(ctx context.Context, p *Program) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return r.session.RegisterProgram(p)
+}
+
 // Experiments returns the harness's §5.1 experiment index.
 func (r *LocalRunner) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
 	if err := ctx.Err(); err != nil {

@@ -2,11 +2,14 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -23,6 +26,13 @@ import (
 type RemoteRunner struct {
 	c   *client.Client
 	obs *runnerObs // nil when unobserved
+
+	// progs remembers the encoded bytes of every program this runner has
+	// registered, keyed by workload id, so a daemon restart (which empties
+	// the server-side registry but not the persistent store) is cured by a
+	// transparent re-upload instead of surfacing CodeUnknownProgram.
+	mu    sync.Mutex
+	progs map[string][]byte
 }
 
 // NewRemoteRunner builds a runner against the service at baseURL
@@ -52,6 +62,61 @@ func OpenRemoteRunner(baseURL string, o RunnerOptions) *RemoteRunner {
 // transports).
 func NewRemoteRunnerClient(c *Client) *RemoteRunner { return &RemoteRunner{c: c} }
 
+// RegisterProgram uploads p to the daemon (POST /v1/programs) and returns
+// its canonical workload string (Runner interface). The runner remembers
+// the program's bytes: if a later call hits a daemon that has forgotten the
+// registration (a restart, a different daemon behind the same URL), the
+// program is re-uploaded and the call retried, transparently.
+func (r *RemoteRunner) RegisterProgram(ctx context.Context, p *Program) (string, error) {
+	if p == nil {
+		return "", errors.New("repro: RegisterProgram: nil program")
+	}
+	if err := isa.CheckEncodable(p); err != nil {
+		return "", err
+	}
+	if err := p.Validate(); err != nil {
+		return "", fmt.Errorf("repro: invalid program: %w", err)
+	}
+	enc := p.Encode()
+	info, err := r.c.UploadProgram(ctx, enc)
+	if err != nil {
+		return "", err
+	}
+	if harness.IsProgramRef(info.ID) {
+		r.mu.Lock()
+		if r.progs == nil {
+			r.progs = make(map[string][]byte)
+		}
+		r.progs[info.ID] = enc
+		r.mu.Unlock()
+	}
+	return info.ID, nil
+}
+
+// isUnknownProgram recognizes the curable CodeUnknownProgram API error.
+func isUnknownProgram(err error) bool {
+	var apiErr *service.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == service.CodeUnknownProgram
+}
+
+// reupload re-registers the remembered programs the given workloads name.
+// Reports whether at least one upload succeeded (i.e. a retry could help).
+func (r *RemoteRunner) reupload(ctx context.Context, workloads ...string) bool {
+	retry := false
+	for _, wl := range workloads {
+		r.mu.Lock()
+		enc := r.progs[wl]
+		r.mu.Unlock()
+		if enc == nil {
+			continue
+		}
+		if _, err := r.c.UploadProgram(ctx, enc); err == nil {
+			retry = true
+		}
+	}
+	return retry
+}
+
 // Simulate runs one spec synchronously on the server. The spec is
 // canonicalized and validated locally first — Spec is the same type on both
 // sides of the wire, so the check cannot drift from the server's.
@@ -62,6 +127,9 @@ func (r *RemoteRunner) Simulate(ctx context.Context, spec Spec) (Record, error) 
 	}
 	start := time.Now()
 	rec, err := r.c.Simulate(ctx, service.RequestFor(spec))
+	if isUnknownProgram(err) && r.reupload(ctx, spec.Kernel) {
+		rec, err = r.c.Simulate(ctx, service.RequestFor(spec))
+	}
 	r.obs.observe(spec, start, err)
 	return rec, err
 }
@@ -73,14 +141,19 @@ func (r *RemoteRunner) Batch(ctx context.Context, specs []Spec, fn func(Record) 
 		return nil
 	}
 	reqs := make([]service.SpecRequest, len(specs))
+	workloads := make([]string, len(specs))
 	for i, sp := range specs {
 		sp = sp.Canonical()
 		if err := sp.Validate(); err != nil {
 			return fmt.Errorf("spec %d: %w", i, err)
 		}
 		reqs[i] = service.RequestFor(sp)
+		workloads[i] = sp.Kernel
 	}
 	st, err := r.c.SubmitBatch(ctx, reqs)
+	if isUnknownProgram(err) && r.reupload(ctx, workloads...) {
+		st, err = r.c.SubmitBatch(ctx, reqs)
+	}
 	if err != nil {
 		return err
 	}
