@@ -142,6 +142,29 @@ type ServerResult struct {
 	SpecsPerSec float64 `json:"specs_per_sec"`
 }
 
+// FleetThroughputPoint is the fig4 batch rate through a ShardedRunner at
+// one fleet size (cold shards, so it folds in scatter, simulation across
+// the shard pools, and ordered gather).
+type FleetThroughputPoint struct {
+	Shards      int     `json:"shards"`
+	Specs       int     `json:"specs"`
+	WallSeconds float64 `json:"wall_s"`
+	SpecsPerSec float64 `json:"specs_per_sec"`
+}
+
+// FleetResult measures the fleet tier (DESIGN.md §12): batch throughput at
+// 1/2/3 shards, and the batched wire path's warm dispatch cost against the
+// per-call baseline the Runner section tracks. BatchedSpeedup is the
+// headline — how much cheaper one warm spec travels inside a batch-sync
+// frame than as its own /v1/simulate round trip.
+type FleetResult struct {
+	WarmCalls        int                    `json:"warm_calls"`
+	PerCallUs        float64                `json:"warm_per_call_us"`
+	BatchedUsPerSpec float64                `json:"warm_batched_us_per_spec"`
+	BatchedSpeedup   float64                `json:"batched_vs_per_call"`
+	Throughput       []FleetThroughputPoint `json:"throughput"`
+}
+
 // Record is the full benchmark record written to BENCH_<label>.json.
 type Record struct {
 	Label       string             `json:"label"`
@@ -156,6 +179,7 @@ type Record struct {
 	Corpus      *CorpusResult      `json:"corpus,omitempty"`
 	Server      *ServerResult      `json:"server,omitempty"`
 	Runner      *RunnerResult      `json:"runner,omitempty"`
+	Fleet       *FleetResult       `json:"fleet,omitempty"`
 	Before      *Record            `json:"before,omitempty"`
 	Speedups    map[string]float64 `json:"speedup_vs_before,omitempty"`
 }
@@ -256,6 +280,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  %d warm calls: %.1f µs/call local, %.1f µs/call remote (+%.1f µs, %.1fx)\n",
 		rn.WarmCalls, rn.LocalUsPerCall, rn.RemoteUsPerCall, rn.OverheadUsPerCall, rn.OverheadRatio)
 	rec.Runner = &rn
+
+	fmt.Fprintf(os.Stderr, "bench: fleet tier (sharded fig4 batches; batched vs per-call warm dispatch)\n")
+	fl, err := measureFleet(*warmup, *measure, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range fl.Throughput {
+		fmt.Fprintf(os.Stderr, "  %d shard(s): %d specs in %.2fs = %.1f specs/s\n",
+			p.Shards, p.Specs, p.WallSeconds, p.SpecsPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "  warm dispatch: %.1f µs/call per-call, %.2f µs/spec batched (%.1fx)\n",
+		fl.PerCallUs, fl.BatchedUsPerSpec, fl.BatchedSpeedup)
+	rec.Fleet = &fl
 
 	if *before != "" {
 		prev, err := loadRecord(*before)
@@ -659,6 +696,117 @@ func measureRunnerOverhead(warmup, measure uint64) (RunnerResult, error) {
 	}, nil
 }
 
+// fleetWarmCalls sizes the fleet dispatch comparison; fleetWarmFrames full
+// frames give the batched side a similar sample.
+const (
+	fleetWarmCalls  = 300
+	fleetWarmFrames = 20
+)
+
+// startBenchShards stands up n in-process service shards on real loopback
+// listeners (the same handler vpserved serves) and returns their base URLs
+// plus a closer.
+func startBenchShards(n int, warmup, measure uint64, workers int) ([]string, func(), error) {
+	var urls []string
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	for i := 0; i < n; i++ {
+		srv, err := service.New(service.Options{
+			Warmup: warmup, Measure: measure, Workers: workers,
+			ShardID: fmt.Sprintf("bench-%d", i),
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			closeAll()
+			return nil, nil, err
+		}
+		go http.Serve(ln, srv)
+		closers = append(closers, func() { ln.Close(); srv.Close() })
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	return urls, closeAll, nil
+}
+
+// measureFleet measures the fleet tier. Throughput runs the deduplicated
+// fig4 batch through a ShardedRunner over 1, 2 and 3 cold shards — the
+// end-to-end fleet path: consistent-hash scatter, per-shard simulation,
+// ordered gather. The dispatch comparison then times one warm shard both
+// ways: per-call /v1/simulate round trips versus batch-sync frames, the
+// ratio the batched wire path exists to win (DESIGN.md §12.3).
+func measureFleet(warmup, measure uint64, workers int) (FleetResult, error) {
+	ctx := context.Background()
+	specs := harness.DedupSpecs(harness.Fig4Specs())
+
+	var res FleetResult
+	for _, shards := range []int{1, 2, 3} {
+		urls, closeAll, err := startBenchShards(shards, warmup, measure, workers)
+		if err != nil {
+			return res, err
+		}
+		runner, err := repro.OpenShardedRunner(repro.RunnerOptions{Shards: urls})
+		if err != nil {
+			closeAll()
+			return res, err
+		}
+		n := 0
+		start := time.Now()
+		err = runner.Batch(ctx, specs, func(repro.Record) error { n++; return nil })
+		wall := time.Since(start).Seconds()
+		runner.Close()
+		closeAll()
+		if err != nil {
+			return res, err
+		}
+		res.Throughput = append(res.Throughput, FleetThroughputPoint{
+			Shards:      shards,
+			Specs:       n,
+			WallSeconds: wall,
+			SpecsPerSec: float64(n) / wall,
+		})
+	}
+
+	urls, closeAll, err := startBenchShards(1, warmup, measure, workers)
+	if err != nil {
+		return res, err
+	}
+	defer closeAll()
+	c := client.New(urls[0])
+	defer c.Close()
+	reqs := make([]service.SpecRequest, len(specs))
+	for i, sp := range specs {
+		reqs[i] = service.RequestFor(sp)
+	}
+	if _, err := c.SimulateBatchSync(ctx, reqs); err != nil { // pay the simulations once
+		return res, err
+	}
+	start := time.Now()
+	for i := 0; i < fleetWarmCalls; i++ {
+		if _, err := c.Simulate(ctx, reqs[i%len(reqs)]); err != nil {
+			return res, err
+		}
+	}
+	res.PerCallUs = time.Since(start).Seconds() * 1e6 / fleetWarmCalls
+	start = time.Now()
+	for i := 0; i < fleetWarmFrames; i++ {
+		if _, err := c.SimulateBatchSync(ctx, reqs); err != nil {
+			return res, err
+		}
+	}
+	res.BatchedUsPerSpec = time.Since(start).Seconds() * 1e6 / float64(fleetWarmFrames*len(reqs))
+	res.WarmCalls = fleetWarmCalls
+	res.BatchedSpeedup = res.PerCallUs / res.BatchedUsPerSpec
+	return res, nil
+}
+
 // speedups compares the headline numbers of two records. Steady comparisons
 // match by predictor name; fig4 compares effective single-thread µops/s.
 func speedups(cur, prev *Record) map[string]float64 {
@@ -690,6 +838,16 @@ func speedups(cur, prev *Record) map[string]float64 {
 	if cur.Runner != nil && prev.Runner != nil && cur.Runner.RemoteUsPerCall > 0 {
 		// >1 means remote dispatch got cheaper since the prior record.
 		out["runner_remote_dispatch"] = prev.Runner.RemoteUsPerCall / cur.Runner.RemoteUsPerCall
+	}
+	if cur.Fleet != nil && cur.Fleet.BatchedUsPerSpec > 0 {
+		if prev.Fleet != nil {
+			out["fleet_batched_dispatch"] = prev.Fleet.BatchedUsPerSpec / cur.Fleet.BatchedUsPerSpec
+		} else if prev.Runner != nil {
+			// First record with a fleet section: hold the batched path
+			// against the prior record's warm per-call remote dispatch —
+			// the number the batched framing exists to beat.
+			out["fleet_batched_vs_prior_per_call"] = prev.Runner.RemoteUsPerCall / cur.Fleet.BatchedUsPerSpec
+		}
 	}
 	return out
 }

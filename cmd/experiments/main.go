@@ -13,6 +13,7 @@
 //	experiments -run fig4 -format json       # structured results
 //	experiments -run abl-fpc -format csv     # ablations are structured too
 //	experiments -run fig4 -server http://127.0.0.1:8437   # remote, memo-warm
+//	experiments -run fig4 -shards "$(cat fleet.addrs)"    # sharded across a fleet
 //	experiments -list -server http://127.0.0.1:8437       # the server's index
 //	experiments -run fig4 -store-dir .vpstore             # warm-start next run
 //	experiments -corpus ./corpus -pred lvp,stride,vtage   # sweep your own programs
@@ -67,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	corpus := fs.String("corpus", "", "sweep every program file in this directory (instead of -run/-all)")
 	preds := fs.String("pred", "lvp,stride,vtage", "comma-separated predictors for the -corpus sweep")
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
+	shards := fs.String("shards", "", "comma-separated vpserved base URLs: route across a fleet instead of in-process (see vpfleet)")
 	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
 	traceLog := fs.String("trace-log", "", "append one NDJSON span per run lifecycle stage to this file (empty: off)")
 	if err := fs.Parse(args); err != nil {
@@ -103,16 +105,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opts.TraceWriter = f
 	}
 
+	if *server != "" && *shards != "" {
+		fmt.Fprintln(stderr, "experiments: -server and -shards both name a remote backend; use one")
+		return 2
+	}
+	remote := *server != "" || *shards != ""
 	var runner repro.Runner
-	if *server != "" {
+	if remote {
 		if *storeDir != "" {
-			fmt.Fprintln(stderr, "experiments: -store-dir applies to in-process runs; a -server daemon's store is set by vpserved -store-dir")
+			fmt.Fprintln(stderr, "experiments: -store-dir applies to in-process runs; a remote daemon's store is set by vpserved -store-dir")
 			return 2
 		}
+	}
+	switch {
+	case *shards != "":
+		// A fleet backend: spec-sharded routing across the listed daemons.
+		sharded, err := repro.OpenShardedRunner(repro.RunnerOptions{
+			Shards:      strings.Split(*shards, ","),
+			TraceWriter: opts.TraceWriter,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		runner = sharded
+	case *server != "":
 		// Remote runs trace dispatch spans only; the daemon traces
 		// simulation stages via vpserved -trace-log.
 		runner = repro.OpenRemoteRunner(*server, repro.RunnerOptions{TraceWriter: opts.TraceWriter})
-	} else {
+	default:
 		local, err := repro.OpenLocalRunner(opts)
 		if err != nil {
 			return fail(err)
@@ -122,7 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	defer runner.Close()
 
 	eo := repro.ExperimentOptions{Workers: *workers, Format: *format}
-	if *server != "" {
+	if remote {
 		if explicit["warmup"] {
 			eo.Warmup = *warmup
 		}

@@ -55,6 +55,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max specs per batch or experiment (0: server default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "synchronous /v1/simulate budget (0: server default)")
 	storeDir := flag.String("store-dir", "", "persistent record store directory shared across restarts and processes (empty: memory-only)")
+	shardID := flag.String("shard-id", "", "shard identity reported by /v1/healthz and /v1/statsz (empty: the bound host:port)")
 	snapshotCap := flag.Int("snapshot-cap", 0, "warm-state snapshot cache entries (0: default cap, negative: disabled)")
 	traceLog := flag.String("trace-log", "", "append one NDJSON span per simulation lifecycle stage to this file (empty: off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -88,18 +89,25 @@ func main() {
 		opts.TraceWriter = f
 		logger.Info("run tracing on", "trace_log", *traceLog)
 	}
-	svc, err := repro.NewServer(opts)
-	if err != nil {
-		logger.Error("start", "err", err)
-		os.Exit(1)
-	}
 
+	// Listen before constructing the server: the default shard identity is
+	// the bound host:port, which only exists once the listener is up.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listen", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 	bound := ln.Addr().String()
+	opts.ShardID = *shardID
+	if opts.ShardID == "" {
+		opts.ShardID = bound
+	}
+	svc, err := repro.NewServer(opts)
+	if err != nil {
+		logger.Error("start", "err", err)
+		os.Exit(1)
+	}
+
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			logger.Error("write addr-file", "path", *addrFile, "err", err)
@@ -115,6 +123,7 @@ func main() {
 	// once — a 16-worker pool on GOMAXPROCS=1 is concurrency, not parallelism.
 	logger.Info("listening",
 		"addr", bound,
+		"shard_id", opts.ShardID,
 		"workers", opts.Workers,
 		"gomaxprocs", runtime.GOMAXPROCS(0),
 		"num_cpu", runtime.NumCPU(),

@@ -9,6 +9,7 @@
 //	vpsim -kernel art -pred vtage+stride -counters fpc -recovery squash
 //	vpsim -kernel art -pred vtage -width 4 -max-hist 256          # extended spec
 //	vpsim -kernel art -pred vtage -server http://127.0.0.1:8437   # remote dispatch
+//	vpsim -kernel art -pred vtage -shards "$(cat fleet.addrs)"    # fleet dispatch
 //	vpsim -kernel art -pred vtage -store-dir .vpstore             # persist the result
 //	vpsim -program mywork.vasm -pred vtage                        # bring your own workload
 //	vpsim -gen branchy:42 -pred vtage                             # generated workload
@@ -74,6 +75,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fpcVector := fs.String("fpc-vector", "", `explicit FPC vector, e.g. "0,2,2,2,2,3,3"`)
 	format := fs.String("format", "text", "output format: text or json")
 	server := fs.String("server", "", "run against this vpserved base URL instead of in-process")
+	shards := fs.String("shards", "", "comma-separated vpserved base URLs: route across a fleet instead of in-process (see vpfleet)")
 	storeDir := fs.String("store-dir", "", "persistent record store directory for in-process runs (empty: memory-only)")
 	list := fs.Bool("list", false, "list kernels and exit")
 	traceLog := fs.String("trace-log", "", "append one NDJSON span per run lifecycle stage to this file (empty: off)")
@@ -93,7 +95,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *server != "" {
+	if *server != "" && *shards != "" {
+		fmt.Fprintln(stderr, "vpsim: -server and -shards both name a remote backend; use one")
+		return 2
+	}
+	if *server != "" || *shards != "" {
 		// Remote simulations are sized by the daemon; refuse explicit window
 		// flags rather than silently returning differently-sized results.
 		bad := false
@@ -103,11 +109,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		})
 		if bad {
-			fmt.Fprintln(stderr, "vpsim: -warmup/-measure size local runs; a -server daemon's windows are set by vpserved -warmup/-measure")
+			fmt.Fprintln(stderr, "vpsim: -warmup/-measure size local runs; a remote daemon's windows are set by vpserved -warmup/-measure")
 			return 2
 		}
 		if *storeDir != "" {
-			fmt.Fprintln(stderr, "vpsim: -store-dir applies to in-process runs; a -server daemon's store is set by vpserved -store-dir")
+			fmt.Fprintln(stderr, "vpsim: -store-dir applies to in-process runs; a remote daemon's store is set by vpserved -store-dir")
 			return 2
 		}
 	}
@@ -253,7 +259,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var runner repro.Runner
-	if *server != "" {
+	if *shards != "" {
+		// A fleet backend: spec-sharded routing across the listed daemons.
+		// Windows and stores are per-shard (vpserved flags), like -server.
+		sharded, err := repro.OpenShardedRunner(repro.RunnerOptions{
+			Shards:      strings.Split(*shards, ","),
+			TraceWriter: opts.TraceWriter,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		runner = sharded
+	} else if *server != "" {
 		// Remote windows are the daemon's; the flags size local runs only.
 		// The trace writer still applies: a remote runner traces its
 		// dispatch spans (the daemon traces simulation stages via

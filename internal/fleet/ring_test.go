@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return out
+}
+
+// TestRingCandidates: every key yields all shards exactly once, in a
+// deterministic order, with the owner first.
+func TestRingCandidates(t *testing.T) {
+	r := newRing(shardNames(3))
+	for _, sp := range harness.Fig4Specs() {
+		key := sp.Identity()
+		c1 := r.candidates(key)
+		c2 := r.candidates(key)
+		if len(c1) != 3 {
+			t.Fatalf("candidates(%q) = %v, want all 3 shards", key, c1)
+		}
+		seen := map[int]bool{}
+		for _, s := range c1 {
+			if s < 0 || s > 2 || seen[s] {
+				t.Fatalf("candidates(%q) = %v: out of range or repeated", key, c1)
+			}
+			seen[s] = true
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("candidates(%q) not deterministic: %v vs %v", key, c1, c2)
+			}
+		}
+		if r.owner(key) != c1[0] {
+			t.Fatalf("owner(%q) = %d, want candidates[0] = %d", key, r.owner(key), c1[0])
+		}
+	}
+}
+
+// TestRingBalance: ownership over the fig4 spec identities spreads across
+// every shard — no shard is starved or owns everything.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		r := newRing(shardNames(n))
+		counts := make([]int, n)
+		specs := harness.Fig4Specs()
+		for _, sp := range specs {
+			counts[r.owner(sp.Identity())]++
+		}
+		for i, c := range counts {
+			if c == 0 {
+				t.Errorf("%d shards: shard %d owns no specs (%v over %d specs)", n, i, counts, len(specs))
+			}
+		}
+	}
+}
+
+// TestRingStability: dropping one shard moves only the keys that shard
+// owned — every other key keeps its owner, so the surviving shards keep
+// their warm working sets.
+func TestRingStability(t *testing.T) {
+	names := shardNames(3)
+	full := newRing(names)
+	reduced := newRing(names[:2]) // shard 2 removed
+	moved, kept := 0, 0
+	for _, sp := range harness.Fig4Specs() {
+		key := sp.Identity()
+		was := full.owner(key)
+		now := reduced.owner(key)
+		if was == 2 {
+			moved++
+			continue
+		}
+		if was != now {
+			t.Errorf("key %q moved %d -> %d though shard 2 was the one removed", key, was, now)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Errorf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}

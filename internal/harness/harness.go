@@ -571,6 +571,36 @@ func (se *Session) RunCtx(ctx context.Context, spec Spec) (*Result, error) {
 	}
 }
 
+// Peek returns spec's memoized outcome without blocking and without
+// starting any work: it hits only when a completed in-process memo entry
+// already exists. An in-flight entry, an absent entry, or one abandoned by
+// cancellation all report !ok — the caller falls back to RunCtx (or a
+// scheduler). A hit counts in MemoStats exactly like a RunCtx memo hit, so
+// "one bucket per lookup" holds no matter which door served it; the warm
+// batch-sync fast path (DESIGN.md §12) is built on this.
+func (se *Session) Peek(spec Spec) (res *Result, err error, ok bool) {
+	spec = spec.Canonical()
+	se.mu.Lock()
+	c, found := se.memo[spec]
+	se.mu.Unlock()
+	if !found {
+		return nil, nil, false
+	}
+	select {
+	case <-c.done:
+	default:
+		return nil, nil, false // still simulating; Peek never waits
+	}
+	if c.err != nil && IsContextErr(c.err) {
+		return nil, nil, false
+	}
+	se.mu.Lock()
+	se.hits++
+	se.mu.Unlock()
+	se.observer().countMemo(true, 1)
+	return c.res, c.err, true
+}
+
 // simulate performs one uncached run. The trace lookup is itself
 // singleflighted, so concurrent first runs of one kernel build its trace once.
 func (se *Session) simulate(ctx context.Context, spec Spec, rt *runRec) (*Result, error) {

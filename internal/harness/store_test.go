@@ -252,3 +252,93 @@ func TestStoreFig4SecondProcessZeroMisses(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreConcurrentSessionsRaceSameSpecs is the cross-session sharing
+// guarantee a fleet over one -store-dir depends on (DESIGN.md §12): two
+// sessions — the moral equivalent of two shard processes — racing the
+// identical spec set over one directory degrade to at-most-duplicate
+// simulation, never corruption. Every record from both sessions must be
+// byte-identical to an isolated reference, combined misses are bounded by
+// one full pass per session, and a third session afterwards is fully warm
+// with no load errors (nothing on disk was torn by the race).
+func TestStoreConcurrentSessionsRaceSameSpecs(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	warmup, measure := testWindows(1_000, 4_000)
+	specs := Fig4Specs()[:40]
+
+	ref := NewSession(warmup, measure)
+	want, err := ref.Records(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := new(bytes.Buffer)
+	if err := WriteJSON(wantJSON, want); err != nil {
+		t.Fatal(err)
+	}
+
+	a := storeSession(t, dir, StoreVersion, warmup, measure)
+	b := storeSession(t, dir, StoreVersion, warmup, measure)
+	type result struct {
+		recs []Record
+		err  error
+	}
+	results := make(chan result, 2)
+	for _, se := range []*Session{a, b} {
+		go func(se *Session) {
+			recs, err := se.Records(specs, 4)
+			results <- result{recs, err}
+		}(se)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		got := new(bytes.Buffer)
+		if err := WriteJSON(got, r.recs); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != wantJSON.String() {
+			t.Errorf("racing session's records differ from the isolated reference:\n--- got\n%s--- want\n%s",
+				got.String(), wantJSON.String())
+		}
+	}
+
+	// At-most-duplicate: each session simulates a spec at most once (its own
+	// memo guarantees that), so the combined misses can never exceed two
+	// full passes — and the race must not have produced load errors.
+	ma, mb := a.MemoStats(), b.MemoStats()
+	tasks := uint64(len(ref.sortedSpecs())) // distinct specs incl. baselines
+	if total := ma.Misses + mb.Misses; total > 2*tasks {
+		t.Errorf("racing sessions simulated %d tasks over %d distinct specs — more than duplicate work", total, tasks)
+	}
+	if ma.Misses+mb.Misses < tasks {
+		t.Errorf("racing sessions simulated only %d of %d distinct specs", ma.Misses+mb.Misses, tasks)
+	}
+	for _, m := range []MemoStats{ma, mb} {
+		if m.Store.LoadErrors != 0 {
+			t.Errorf("race produced %d store load errors — torn reads", m.Store.LoadErrors)
+		}
+	}
+
+	// A fresh third session over the raced directory is fully warm: nothing
+	// was corrupted, everything was persisted.
+	third := storeSession(t, dir, StoreVersion, warmup, measure)
+	got, err := third.Records(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := third.MemoStats()
+	if m.Misses != 0 {
+		t.Errorf("third session simulated %d specs over the raced store, want 0", m.Misses)
+	}
+	if m.Store.LoadErrors != 0 {
+		t.Errorf("third session hit %d load errors — the race tore an entry", m.Store.LoadErrors)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("record %d from the raced store differs from the reference:\n%+v\n%+v", i, want[i], got[i])
+		}
+	}
+}

@@ -13,8 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/service"
@@ -26,11 +28,30 @@ type Client struct {
 	hc   *http.Client
 }
 
+// sharedTransport is the tuned http.Transport every default-constructed
+// client rides: keep-alive on, a deep idle pool per host so warm dispatch
+// reuses one TCP connection instead of re-handshaking, and no compression
+// (records are small JSON; gzip would cost more than the bytes it saves on
+// loopback). Shared across clients so a fleet front talking to N shards
+// holds one pool, not N.
+var sharedTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+	DisableCompression:  true,
+}
+
 // New builds a client for the server at base (e.g. "http://127.0.0.1:8437").
 // The underlying http.Client has no timeout: per-call budgets come from the
-// caller's context, and streams live as long as their job runs.
+// caller's context, and streams live as long as their job runs. All clients
+// built here share one tuned keep-alive transport (sharedTransport), so the
+// warm dispatch path never pays connection setup per call.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Transport: sharedTransport}}
 }
 
 // NewWithHTTPClient uses a caller-supplied http.Client (tests, custom
@@ -102,6 +123,46 @@ func (c *Client) Simulate(ctx context.Context, spec service.SpecRequest) (harnes
 	var rec harness.Record
 	err := c.do(ctx, http.MethodPost, "/v1/simulate", spec, &rec)
 	return rec, err
+}
+
+// SimulateBatchSync runs many specs in one synchronous round trip (POST
+// /v1/simulate/batch-sync) and returns their records in request order. The
+// frame is all-or-nothing: any failing spec fails the whole call with the
+// server's typed APIError for the first failure in request order.
+//
+// This is the hot path of a fleet front, so the response body is parsed by
+// the frame codec directly (one scanner pass) instead of going through
+// json.Decoder's extra validation walk.
+func (c *Client) SimulateBatchSync(ctx context.Context, specs []service.SpecRequest) ([]harness.Record, error) {
+	in, err := service.BatchSyncRequest{Specs: specs}.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/simulate/batch-sync", bytes.NewReader(in))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var out service.BatchSyncResponse
+	if err := out.UnmarshalJSON(body); err != nil {
+		return nil, err
+	}
+	if len(out.Records) != len(specs) {
+		return nil, fmt.Errorf("service: batch-sync returned %d records for %d specs", len(out.Records), len(specs))
+	}
+	return out.Records, nil
 }
 
 // UploadProgram registers a binary-encoded program with the daemon (POST
@@ -261,11 +322,37 @@ func (c *Client) Experiments(ctx context.Context) ([]service.ExperimentInfo, err
 	return out, err
 }
 
-// Health fetches GET /v1/healthz.
+// Health fetches GET /v1/healthz. A draining daemon answers 503 with a
+// well-formed body (OK false, Draining true); that is a health report, not a
+// transport failure, so it is returned without error — callers branch on
+// h.OK / h.Draining. Any other non-2xx stays an error.
 func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	var h service.Health
-	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
-	return h, err
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 || resp.StatusCode == http.StatusServiceUnavailable {
+		buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if err != nil {
+			return h, err
+		}
+		if json.Unmarshal(buf, &h) == nil && (h.OK || h.Draining) {
+			return h, nil
+		}
+		if resp.StatusCode/100 == 2 {
+			return h, fmt.Errorf("service: bad healthz body: %q", string(buf))
+		}
+		// A 503 that is not the draining shape (a proxy, an overloaded
+		// gateway) is still an error.
+		return h, &APIError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(buf))}
+	}
+	return h, decodeError(resp)
 }
 
 // Stats fetches GET /v1/statsz.

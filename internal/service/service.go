@@ -56,6 +56,12 @@ type Options struct {
 	// cache. Snapshots skip the warmup phase of repeat specs
 	// byte-identically (DESIGN.md §9).
 	SnapshotCap int
+
+	// ShardID names this daemon within a fleet (vpserved -shard-id; the
+	// daemon defaults it to the bound host:port). It is reported by
+	// /v1/healthz and the /v1/statsz shard block so fleet probing and logs
+	// can tell shards apart; empty is fine for a standalone server.
+	ShardID string
 }
 
 // WithDefaults resolves every unset field to its serving default — the one
@@ -144,6 +150,7 @@ func New(o Options) (*Server, error) {
 	s.sched = newScheduler(s.session, o.Workers, s.metrics)
 	s.mux = http.NewServeMux()
 	s.handle("POST /v1/simulate", "simulate", s.handleSimulate)
+	s.handle("POST /v1/simulate/batch-sync", "batch_sync", s.handleBatchSync)
 	s.handle("POST /v1/batch", "batch", s.handleBatch)
 	s.handle("POST /v1/programs", "program_upload", s.handleProgramUpload)
 	s.handle("GET /v1/programs", "programs", s.handleProgramList)
@@ -520,6 +527,169 @@ func (s *syncSink) deliver(idx int, res *harness.Result, err error) {
 	s.ch <- syncDelivery{idx, res, err}
 }
 
+// handleBatchSync runs a whole spec frame synchronously within the request
+// budget (POST /v1/simulate/batch-sync): the batched wire framing that
+// amortizes one HTTP round trip over many specs. The frame's specs plus
+// their deduplicated baselines all fan through the shared worker pool; the
+// response carries one record per requested spec, in request order. The
+// frame is all-or-nothing: the first failing spec (in request order) fails
+// the whole frame with the standard error envelope, mirroring the Batch
+// contract's first-error abort — a fleet front retries the frame elsewhere.
+func (s *Server) handleBatchSync(w http.ResponseWriter, r *http.Request) {
+	// Decode through the frame codec directly — one scanner pass over the
+	// body — instead of json.Decoder's validate-then-parse double walk;
+	// the codec's fallback keeps strict unknown-field rejection.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req BatchSyncRequest
+	if err := req.UnmarshalJSON(body); err != nil {
+		apiError(w, http.StatusBadRequest, "decode body: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		apiError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Specs) > s.opts.MaxBatch {
+		apiError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d specs exceeds the %d-spec limit", len(req.Specs), s.opts.MaxBatch)
+		return
+	}
+	specs := make([]harness.Spec, len(req.Specs))
+	for i, sr := range req.Specs {
+		sp, err := sr.Spec()
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		specs[i] = sp
+	}
+	if !s.checkPrograms(w, specs...) {
+		return
+	}
+	// Same draining/syncWG critical section as handleSimulate: every Add is
+	// ordered before Drain's flag flip or never happens.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		apiError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	s.syncWG.Add(1)
+	s.mu.Unlock()
+	defer s.syncWG.Done()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel) // Close aborts sync work too
+	defer stop()
+
+	// Deduplicate the task list (specs + the baselines their speedups need),
+	// exactly like an async job: duplicates would only occupy queue slots.
+	var tasks []harness.Spec
+	seen := make(map[harness.Spec]int)
+	add := func(sp harness.Spec) int {
+		if i, ok := seen[sp]; ok {
+			return i
+		}
+		i := len(tasks)
+		seen[sp] = i
+		tasks = append(tasks, sp)
+		return i
+	}
+	taskIdx := make([]int, len(specs))
+	baseIdx := make([]int, len(specs))
+	for i, sp := range specs {
+		taskIdx[i] = add(sp)
+		if sp.Predictor != "none" {
+			baseIdx[i] = add(sp.Baseline())
+		} else {
+			baseIdx[i] = -1
+		}
+	}
+
+	// Warm fast path: tasks already memoized are answered inline, without a
+	// scheduler round trip — a fully warm frame costs JSON decode + encode
+	// plus map lookups, which is what lets the batched wire path beat warm
+	// per-call dispatch by the DESIGN.md §12 margin. Only cold tasks fan
+	// through the worker pool.
+	results := make([]*harness.Result, len(tasks))
+	errs := make([]error, len(tasks))
+	var cold []int
+	for i, sp := range tasks {
+		if res, err, ok := s.session.Peek(sp); ok {
+			results[i], errs[i] = res, err
+		} else {
+			cold = append(cold, i)
+		}
+	}
+	if len(cold) > 0 {
+		sink := &syncSink{ctx: ctx, ch: make(chan syncDelivery, len(cold))}
+		for _, i := range cold {
+			if err := s.sched.submit(task{sink: sink, idx: i, spec: tasks[i]}); err != nil {
+				code := http.StatusServiceUnavailable
+				if harness.IsContextErr(err) {
+					code = http.StatusGatewayTimeout
+				}
+				apiError(w, code, "%v", err)
+				return
+			}
+		}
+		for range cold {
+			var d syncDelivery
+			select {
+			case d = <-sink.ch:
+			case <-ctx.Done():
+				apiError(w, http.StatusGatewayTimeout, "%v", ctx.Err())
+				return
+			}
+			results[d.idx], errs[d.idx] = d.res, d.err
+		}
+	}
+	// First failure in request order fails the frame.
+	for i := range specs {
+		err := errs[taskIdx[i]]
+		if err == nil && baseIdx[i] >= 0 {
+			err = errs[baseIdx[i]]
+		}
+		if err == nil {
+			continue
+		}
+		switch {
+		case harness.IsContextErr(err):
+			apiError(w, http.StatusGatewayTimeout, "spec %d: %v", i, err)
+		case harness.IsUnknownWorkload(err):
+			apiErrorCode(w, http.StatusNotFound, CodeUnknownProgram, "spec %d: %v", i, err)
+		default:
+			apiError(w, http.StatusInternalServerError, "spec %d: %v", i, err)
+		}
+		return
+	}
+	recs := make([]harness.Record, len(specs))
+	for i := range specs {
+		rec, err := s.session.Record(results[taskIdx[i]])
+		if err != nil {
+			apiError(w, http.StatusInternalServerError, "spec %d: %v", i, err)
+			return
+		}
+		recs[i] = rec
+	}
+	// Emit through the frame codec: the response bytes go straight to the
+	// wire, skipping the encoder's compaction re-scan of the marshaled body.
+	out, err := BatchSyncResponse{Records: recs}.MarshalJSON()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+	w.Write([]byte{'\n'})
+}
+
 // handleBatch admits a batch job and answers 202 with its status.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
@@ -701,15 +871,26 @@ func (s *Server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz answers 200 while serving and 503 once drain begins — the
+// body carries {"draining":true} either way a client reads it, so both
+// status-code probes (load balancers) and body-decoding probes (the fleet
+// front) stop routing new work to a draining shard while its in-flight jobs
+// finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Health{
-		OK:       true,
+	h := Health{
+		OK:       !draining,
 		UptimeS:  time.Since(s.start).Seconds(),
 		Draining: draining,
-	})
+		ShardID:  s.opts.ShardID,
+	}
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // Stats snapshots the observable server state (the /v1/statsz body).
@@ -738,6 +919,11 @@ func (s *Server) Stats() ServerStats {
 		ActiveJobs:    active,
 		Draining:      draining,
 		Programs:      s.session.ProgramCount(),
+		Shard: ShardInfo{
+			ID:            s.opts.ShardID,
+			StartUnix:     s.start.Unix(),
+			UptimeSeconds: time.Since(s.start).Seconds(),
+		},
 		Limits: Limits{
 			MaxJobs:          s.opts.MaxJobs,
 			MaxBatch:         s.opts.MaxBatch,

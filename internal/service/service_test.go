@@ -347,7 +347,7 @@ func TestAdmissionLimits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !h.OK || !h.Draining {
+	if h.OK || !h.Draining {
 		t.Errorf("health while draining: %+v", h)
 	}
 	if _, err := c.Job(ctx, st.ID); err != nil {
@@ -710,5 +710,161 @@ func TestExtendedSpecOverWire(t *testing.T) {
 		} else if !errors.As(err, &apiErr) || apiErr.Status != 400 || apiErr.Code != CodeBadRequest {
 			t.Errorf("bad extended spec %+v: got %v, want HTTP 400 %s", bad, err, CodeBadRequest)
 		}
+	}
+}
+
+// TestBatchSync drives the batched synchronous wire path: one frame of many
+// specs (duplicates included) must answer records byte-identical to a
+// sequential Session over the same specs, in request order; malformed and
+// unknown-program frames must fail with the standard typed errors.
+func TestBatchSync(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{Workers: 2, MaxBatch: 8})
+	ctx := context.Background()
+
+	specs := []harness.Spec{
+		{Kernel: "gzip", Predictor: "none"},
+		{Kernel: "gzip", Predictor: "vtage"},
+		{Kernel: "art", Predictor: "vtage"},
+		{Kernel: "gzip", Predictor: "vtage"}, // duplicate: dedup must not reorder
+		{Kernel: "art", Predictor: "none"},
+	}
+	ref := harness.NewSession(testWarmup, testMeasure)
+	want, err := ref.Records(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SimulateBatchSync(ctx, specRequests(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("batch-sync records differ from sequential session:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	var apiErr *client.APIError
+	if _, err := c.SimulateBatchSync(ctx, nil); err == nil {
+		t.Error("empty batch-sync frame accepted")
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("empty frame: got %v, want HTTP 400", err)
+	}
+	big := make([]SpecRequest, 9)
+	for i := range big {
+		big[i] = RequestFor(harness.Spec{Kernel: "gzip", Predictor: "none"})
+	}
+	if _, err := c.SimulateBatchSync(ctx, big); err == nil {
+		t.Error("oversized batch-sync frame accepted")
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 413 || apiErr.Code != CodeTooLarge {
+		t.Errorf("oversized frame: got %v, want HTTP 413 %s", err, CodeTooLarge)
+	}
+	ghost := []SpecRequest{
+		RequestFor(harness.Spec{Kernel: "gzip", Predictor: "none"}),
+		{Program: "prog:" + strings.Repeat("ab", 32), Predictor: "lvp"},
+	}
+	if _, err := c.SimulateBatchSync(ctx, ghost); err == nil {
+		t.Error("unknown-program frame accepted")
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 404 || apiErr.Code != CodeUnknownProgram {
+		t.Errorf("unknown-program frame: got %v, want HTTP 404 %s", err, CodeUnknownProgram)
+	}
+}
+
+// TestDrainWindowHealthz is the drain-window e2e test: while a drain is in
+// progress (jobs still running), /v1/healthz must flip to 503 with a
+// {"draining":true} body — on the raw wire, so status-code-only probes see
+// it too — while already-admitted work runs to completion; once drained,
+// the batched sync path must refuse new frames with 503 draining.
+func TestDrainWindowHealthz(t *testing.T) {
+	srv, c, ts := newTestServer(t, Options{Workers: 1, ShardID: "shard-drain"})
+	ctx := context.Background()
+
+	// Before drain: 200 on the raw wire, ok body, shard id echoed.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !h.OK || h.Draining || h.ShardID != "shard-drain" {
+		t.Fatalf("pre-drain healthz: code=%d body=%+v", resp.StatusCode, h)
+	}
+
+	// Admit real work, then drain concurrently: the drain window is open
+	// until the job finishes.
+	st, err := c.SubmitBatch(ctx, specRequests([]harness.Spec{
+		{Kernel: "gzip", Predictor: "vtage"},
+		{Kernel: "art", Predictor: "vtage"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(ctx) }()
+
+	// Inside the window: raw 503, draining body; the typed client treats it
+	// as a report, not an error.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if h.OK || !h.Draining {
+				t.Fatalf("draining healthz body: %+v", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hh, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("typed client errored on draining healthz: %v", err)
+	}
+	if hh.OK || !hh.Draining || hh.ShardID != "shard-drain" {
+		t.Errorf("typed draining health: %+v", hh)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+	// The admitted job ran to completion through the drain.
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || len(final.Records) != 2 {
+		t.Errorf("job through drain: state=%s records=%d", final.State, len(final.Records))
+	}
+	// New frames are refused.
+	var apiErr *client.APIError
+	if _, err := c.SimulateBatchSync(ctx, specRequests([]harness.Spec{{Kernel: "gzip", Predictor: "none"}})); err == nil {
+		t.Error("draining server accepted a batch-sync frame")
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 503 || apiErr.Code != CodeDraining {
+		t.Errorf("draining batch-sync: got %v, want HTTP 503 %s", err, CodeDraining)
+	}
+}
+
+// TestStatszShardBlock: /v1/statsz carries the shard identity block, with
+// the configured -shard-id and a live uptime.
+func TestStatszShardBlock(t *testing.T) {
+	_, c, _ := newTestServer(t, Options{ShardID: "fleet-3"})
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard.ID != "fleet-3" || st.Shard.StartUnix == 0 || st.Shard.UptimeSeconds < 0 {
+		t.Errorf("shard block: %+v", st.Shard)
 	}
 }

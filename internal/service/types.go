@@ -98,6 +98,23 @@ type BatchRequest struct {
 	Specs []SpecRequest `json:"specs"`
 }
 
+// BatchSyncRequest is the body of POST /v1/simulate/batch-sync: the batched
+// synchronous wire framing (DESIGN.md §12). One request carries many specs
+// and one response carries their records in request order, so the HTTP round
+// trip — the dominant cost of warm, memo-served dispatch — is amortized over
+// the whole frame instead of paid per spec.
+type BatchSyncRequest struct {
+	Specs []SpecRequest `json:"specs"`
+}
+
+// BatchSyncResponse answers a batch-sync frame: Records[i] is the flattened
+// record of Specs[i]. The endpoint is all-or-nothing — a failing spec fails
+// the whole frame with the standard error envelope (the first failure in
+// request order), mirroring the Batch contract's first-error abort.
+type BatchSyncResponse struct {
+	Records []harness.Record `json:"records"`
+}
+
 // ProgramRequest is the body of POST /v1/programs: exactly one of Encoded
 // (the program's binary encoding, base64 on the wire per encoding/json) and
 // Assembly (text-assembly source, DESIGN.md §11). Name optionally overrides
@@ -184,11 +201,25 @@ type ExperimentInfo struct {
 	Title string `json:"title"`
 }
 
-// Health is the body of GET /v1/healthz.
+// Health is the body of GET /v1/healthz. A serving daemon answers 200 with
+// OK true; once SIGTERM drain begins the endpoint answers 503 with OK false
+// and Draining true — same body shape, so a fleet front (or a load balancer
+// probing status codes alone) stops routing new work to the shard while its
+// in-flight jobs finish.
 type Health struct {
 	OK       bool    `json:"ok"`
 	UptimeS  float64 `json:"uptime_s"`
 	Draining bool    `json:"draining"`
+	ShardID  string  `json:"shard_id,omitempty"`
+}
+
+// ShardInfo is the shard identity block of /v1/statsz: who this daemon is in
+// a fleet (vpserved -shard-id, defaulting to the bound host:port) and since
+// when it has been serving, so fleet probing and logs can tell shards apart.
+type ShardInfo struct {
+	ID            string  `json:"id"`
+	StartUnix     int64   `json:"start_time_unix"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Limits echoes the admission configuration in /v1/statsz.
@@ -243,6 +274,9 @@ type ServerStats struct {
 	// negative SnapshotCap. A snapshot hit still simulates — it skips only
 	// the warmup phase — so these are orthogonal to the memo counters.
 	Snapshots *harness.SnapshotStats `json:"snapshots,omitempty"`
+
+	// Shard identifies this daemon within a fleet (DESIGN.md §12).
+	Shard ShardInfo `json:"shard"`
 
 	Limits Limits `json:"limits"`
 }

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// reflectSpecRequest is SpecRequest without its methods — the reflection
+// oracle for the hand-rolled codec.
+type reflectSpecRequest SpecRequest
+
+func wireTestSpecRequests() []SpecRequest {
+	return []SpecRequest{
+		{Kernel: "art", Predictor: "vtage"},
+		{Kernel: "gzip", Predictor: "lvp", Counters: "fpc", Recovery: "reissue",
+			Width: 4, LoadsOnly: true, MaxHist: 128, FPCVector: "0,2,2,2,2,3,3"},
+		{Program: "prog:4b3f", Predictor: "stride", Counters: "baseline"},
+		{},
+	}
+}
+
+// TestSpecRequestMarshalByteCompatible pins the hand-rolled marshaler
+// against the reflection encoder, omitempty layout included.
+func TestSpecRequestMarshalByteCompatible(t *testing.T) {
+	for _, req := range wireTestSpecRequests() {
+		got, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(reflectSpecRequest(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("hand-rolled marshal differs from reflection:\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+// TestSpecRequestUnmarshalStrict checks decode equivalence on the fast
+// path and both fallback behaviors: escaped strings decode correctly, and
+// unknown fields still fail — the API's strictness predates the fast path
+// and must survive it.
+func TestSpecRequestUnmarshalStrict(t *testing.T) {
+	for _, req := range wireTestSpecRequests() {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got SpecRequest
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("%s: got %+v, want %+v", b, got, req)
+		}
+	}
+
+	var esc SpecRequest
+	if err := json.Unmarshal([]byte(`{"kernel":"art","predictor":"lvp"}`), &esc); err != nil {
+		t.Fatal(err)
+	}
+	if esc.Kernel != "art" {
+		t.Errorf("escaped kernel = %q, want art", esc.Kernel)
+	}
+
+	err := json.Unmarshal([]byte(`{"kernel":"art","predictor":"lvp","bogus":1}`), &SpecRequest{})
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown field must be rejected, got: %v", err)
+	}
+}

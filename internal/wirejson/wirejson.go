@@ -1,0 +1,214 @@
+// Package wirejson is the hand-rolled JSON fast path for the service wire
+// structs (DESIGN.md §12.3). encoding/json's reflection costs ~5 µs per
+// 20-field record on each side of the wire, which dominates a warm
+// batch-sync frame; the appenders and the scanner here cut that to the cost
+// of a few strconv calls. The contract is strict byte-compatibility:
+//
+//   - AppendFloat reproduces encoding/json's float formatting exactly
+//     (including the e-07 → e-7 rewrite), so emitted records stay
+//     byte-identical to the reflection encoder's output;
+//   - AppendString emits plain ASCII strings verbatim and defers anything
+//     needing escapes to encoding/json itself;
+//   - Scanner parses only the grammar the appenders emit (compact or
+//     whitespace-padded objects, escape-free strings); callers fall back to
+//     encoding/json when a Parse* method reports failure, so unusual input
+//     costs one extra parse instead of an error.
+package wirejson
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// AppendFloat appends f exactly as encoding/json encodes a float64. The
+// second result is false for NaN and infinities, which JSON cannot carry —
+// the caller should defer to encoding/json for its standard error.
+func AppendFloat(b []byte, f float64) ([]byte, bool) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json rewrites a two-digit zero-padded exponent: e-07 → e-7.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, true
+}
+
+// plainString reports whether s needs no JSON escaping under encoding/json's
+// default (HTML-escaping) encoder: printable ASCII without quotes,
+// backslashes, or the HTML-significant characters.
+func plainString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendString appends s as a JSON string, matching encoding/json's output
+// byte for byte (escapes included, via encoding/json itself on the rare
+// non-plain string).
+func AppendString(b []byte, s string) []byte {
+	if plainString(s) {
+		b = append(b, '"')
+		b = append(b, s...)
+		return append(b, '"')
+	}
+	esc, err := json.Marshal(s)
+	if err != nil { // a string cannot fail to marshal; defensive only
+		return append(b, '"', '"')
+	}
+	return append(b, esc...)
+}
+
+// Scanner is a non-allocating cursor over one JSON value. Every Parse*
+// method consumes leading whitespace, then either consumes its token and
+// returns true, or returns false leaving the input conceptually invalid —
+// the caller abandons the fast path and re-parses with encoding/json. A
+// false result therefore never needs to carry a reason.
+type Scanner struct {
+	buf []byte
+	i   int
+}
+
+// NewScanner returns a scanner over b.
+func NewScanner(b []byte) *Scanner { return &Scanner{buf: b} }
+
+func (s *Scanner) ws() {
+	for s.i < len(s.buf) {
+		switch s.buf[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+// Byte consumes the single byte c (a structural token: '{', '}', ':', ',').
+func (s *Scanner) Byte(c byte) bool {
+	s.ws()
+	if s.i < len(s.buf) && s.buf[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// String parses an escape-free JSON string. Strings with escapes (or any
+// non-string token) report false; encoding/json handles them on fallback.
+func (s *Scanner) String() (string, bool) {
+	s.ws()
+	if s.i >= len(s.buf) || s.buf[s.i] != '"' {
+		return "", false
+	}
+	j := s.i + 1
+	for j < len(s.buf) {
+		c := s.buf[j]
+		if c == '"' {
+			out := string(s.buf[s.i+1 : j])
+			s.i = j + 1
+			return out, true
+		}
+		if c == '\\' || c < 0x20 {
+			return "", false
+		}
+		j++
+	}
+	return "", false
+}
+
+// numTok consumes one JSON number token and returns its bytes.
+func (s *Scanner) numTok() ([]byte, bool) {
+	s.ws()
+	j := s.i
+	for j < len(s.buf) {
+		switch c := s.buf[j]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			j++
+		default:
+			goto done
+		}
+	}
+done:
+	if j == s.i {
+		return nil, false
+	}
+	tok := s.buf[s.i:j]
+	s.i = j
+	return tok, true
+}
+
+// Float parses a JSON number as float64.
+func (s *Scanner) Float() (float64, bool) {
+	tok, ok := s.numTok()
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(string(tok), 64)
+	return f, err == nil
+}
+
+// Int parses a JSON number as int.
+func (s *Scanner) Int() (int, bool) {
+	tok, ok := s.numTok()
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(string(tok))
+	return n, err == nil
+}
+
+// Int64 parses a JSON number as int64.
+func (s *Scanner) Int64() (int64, bool) {
+	tok, ok := s.numTok()
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(string(tok), 10, 64)
+	return n, err == nil
+}
+
+// Uint64 parses a JSON number as uint64.
+func (s *Scanner) Uint64() (uint64, bool) {
+	tok, ok := s.numTok()
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(string(tok), 10, 64)
+	return n, err == nil
+}
+
+// Bool parses true or false.
+func (s *Scanner) Bool() (bool, bool) {
+	s.ws()
+	rest := s.buf[s.i:]
+	switch {
+	case len(rest) >= 4 && string(rest[:4]) == "true":
+		s.i += 4
+		return true, true
+	case len(rest) >= 5 && string(rest[:5]) == "false":
+		s.i += 5
+		return false, true
+	}
+	return false, false
+}
+
+// End reports whether only trailing whitespace remains — encoding/json's
+// whole-input rule, so the fast path accepts exactly one value too.
+func (s *Scanner) End() bool {
+	s.ws()
+	return s.i == len(s.buf)
+}

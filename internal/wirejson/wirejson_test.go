@@ -1,0 +1,130 @@
+package wirejson
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestAppendFloatMatchesEncodingJSON pins the byte-compatibility contract:
+// for every representable value class — integral, fractional, subnormal-ish
+// exponents on both sides of the e-07 rewrite, huge magnitudes — AppendFloat
+// must produce exactly what encoding/json produces, or the wire structs'
+// hand-rolled marshalers would silently break byte-identical differential
+// output.
+func TestAppendFloatMatchesEncodingJSON(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.5, -0.25, 1.0 / 3.0, 2.0 / 3.0,
+		1e-5, 1e-6, 9.999e-7, 1e-7, 1e-9, -1e-7,
+		1e20, 1e21, 1.5e21, -2.5e22, 1e300, 5e-324,
+		3.141592653589793, 123456.789, 0.6931471805599453,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	// A deterministic xorshift sweep adds coverage without flaky randomness.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 500; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		f := math.Float64frombits(x)
+		if !math.IsNaN(f) && !math.IsInf(f, 0) {
+			values = append(values, f)
+		}
+	}
+	for _, f := range values {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", f, err)
+		}
+		got, ok := AppendFloat(nil, f)
+		if !ok {
+			t.Errorf("AppendFloat(%v) refused a finite value", f)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, encoding/json = %s", f, got, want)
+		}
+	}
+	if _, ok := AppendFloat(nil, math.NaN()); ok {
+		t.Error("AppendFloat(NaN) must report false")
+	}
+	if _, ok := AppendFloat(nil, math.Inf(1)); ok {
+		t.Error("AppendFloat(+Inf) must report false")
+	}
+}
+
+// TestAppendStringMatchesEncodingJSON covers the plain fast path and the
+// escape fallback (quotes, backslashes, control bytes, HTML characters,
+// UTF-8) against encoding/json's default encoder.
+func TestAppendStringMatchesEncodingJSON(t *testing.T) {
+	for _, s := range []string{
+		"", "art", "prog:4b3f", "lvp,stride", "a b_c-d.e/f",
+		`quo"te`, `back\slash`, "tab\there", "html <b>&</b>", "µops", "\x01",
+	} {
+		want, _ := json.Marshal(s)
+		if got := AppendString(nil, s); string(got) != string(want) {
+			t.Errorf("AppendString(%q) = %s, encoding/json = %s", s, got, want)
+		}
+	}
+}
+
+// TestScannerRoundTrip drives the scanner over a compact object and a
+// whitespace-padded one, and checks the fallback triggers (escaped string,
+// trailing garbage).
+func TestScannerRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		`{"k":"art","n":-3,"f":0.25,"b":true,"u":18446744073709551615}`,
+		" {\n  \"k\": \"art\",\t\"n\": -3 , \"f\": 0.25, \"b\": true, \"u\": 18446744073709551615\n} ",
+	} {
+		s := NewScanner([]byte(in))
+		if !s.Byte('{') {
+			t.Fatalf("%q: missing {", in)
+		}
+		if k, ok := s.String(); !ok || k != "k" {
+			t.Fatalf("%q: key = %q, %v", in, k, ok)
+		}
+		if !s.Byte(':') {
+			t.Fatal("missing :")
+		}
+		if v, ok := s.String(); !ok || v != "art" {
+			t.Fatalf("value = %q, %v", v, ok)
+		}
+		s.Byte(',')
+		s.String()
+		s.Byte(':')
+		if n, ok := s.Int(); !ok || n != -3 {
+			t.Fatalf("int = %d, %v", n, ok)
+		}
+		s.Byte(',')
+		s.String()
+		s.Byte(':')
+		if f, ok := s.Float(); !ok || f != 0.25 {
+			t.Fatalf("float = %v, %v", f, ok)
+		}
+		s.Byte(',')
+		s.String()
+		s.Byte(':')
+		if b, ok := s.Bool(); !ok || !b {
+			t.Fatalf("bool = %v, %v", b, ok)
+		}
+		s.Byte(',')
+		s.String()
+		s.Byte(':')
+		if u, ok := s.Uint64(); !ok || u != math.MaxUint64 {
+			t.Fatalf("uint64 = %d, %v", u, ok)
+		}
+		if !s.Byte('}') || !s.End() {
+			t.Fatalf("%q: unterminated", in)
+		}
+	}
+
+	if _, ok := NewScanner([]byte(`"esc\"aped"`)).String(); ok {
+		t.Error("escaped string must report false (fallback path)")
+	}
+	s := NewScanner([]byte(`{} trailing`))
+	s.Byte('{')
+	s.Byte('}')
+	if s.End() {
+		t.Error("trailing garbage must fail End")
+	}
+}

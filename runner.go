@@ -101,6 +101,12 @@ type RunnerOptions struct {
 	Measure uint64 // measured µops per simulation (default 250_000)
 	Workers int    // parallel simulation workers (<=0: GOMAXPROCS)
 
+	// Shards is the vpserved base URLs a sharded runner routes across
+	// (OpenShardedRunner). Ignored by the local and remote constructors:
+	// like StoreDir for LocalRunner, it configures only the backend that
+	// reads it.
+	Shards []string
+
 	// StoreDir, when non-empty, attaches a persistent content-addressed
 	// record store under the session memo: simulation results are loaded
 	// from (and persisted to) the directory, so a fresh process over a
